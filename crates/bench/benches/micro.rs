@@ -1,0 +1,111 @@
+//! Micro-benchmarks of the protocol building blocks: diffs, vector clocks,
+//! write-notice tables, and the checkpoint codec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsm_page::{Diff, Interval, Page, PageId, VectorClock};
+use ftdsm::ft::ckpt::CheckpointBlob;
+use hlrc::{WnTable, WriteNotice};
+
+fn dirty_page(size: usize, dirty_words: usize) -> (Page, Page) {
+    let twin = Page::zeroed(size);
+    let mut cur = twin.clone();
+    let words = size / 8;
+    for k in 0..dirty_words {
+        let w = (k * words / dirty_words) * 8;
+        cur.write(w, &[(k + 1) as u8; 8]);
+    }
+    (twin, cur)
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff");
+    for &dirty in &[1usize, 32, 256, 512] {
+        let (twin, cur) = dirty_page(4096, dirty);
+        g.throughput(Throughput::Bytes(4096));
+        g.bench_with_input(BenchmarkId::new("create_4k", dirty), &dirty, |b, _| {
+            b.iter(|| {
+                Diff::create(PageId(0), Interval { proc: 0, seq: 1 }, &twin, &cur)
+            })
+        });
+        let diff = Diff::create(PageId(0), Interval { proc: 0, seq: 1 }, &twin, &cur).unwrap();
+        let mut target = twin.clone();
+        g.bench_with_input(BenchmarkId::new("apply_4k", dirty), &dirty, |b, _| {
+            b.iter(|| diff.apply(&mut target))
+        });
+    }
+    g.finish();
+}
+
+fn bench_vector_clock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vector_clock");
+    for &n in &[8usize, 64] {
+        let a = VectorClock::from_vec((0..n as u32).collect());
+        let b = VectorClock::from_vec((0..n as u32).rev().collect());
+        g.bench_with_input(BenchmarkId::new("join", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut x = a.clone();
+                x.join(&b);
+                x
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("covers", n), &n, |bch, _| {
+            bch.iter(|| a.covers(&b))
+        });
+        g.bench_with_input(BenchmarkId::new("missing_from", n), &n, |bch, _| {
+            bch.iter(|| a.missing_from(&b))
+        });
+    }
+    g.finish();
+}
+
+fn bench_wn_table(c: &mut Criterion) {
+    let mut table = WnTable::new();
+    for proc_ in 0..8 {
+        for seq in 1..=200u32 {
+            table.insert(WriteNotice {
+                interval: Interval { proc: proc_, seq },
+                pages: (0..4).map(|k| PageId(seq * 4 + k)).collect(),
+            });
+        }
+    }
+    let from = VectorClock::from_vec(vec![180; 8]);
+    let to = VectorClock::from_vec(vec![200; 8]);
+    c.bench_function("wn_table/missing_between_20x8", |b| {
+        b.iter(|| table.missing_between(&from, &to))
+    });
+}
+
+fn bench_checkpoint_codec(c: &mut Criterion) {
+    let blob = CheckpointBlob {
+        seq: 5,
+        tckp: VectorClock::from_vec(vec![100; 8]),
+        bar_episode: 40,
+        acq_seq_next: 33,
+        last_bar_arrive_seq: 90,
+        step: 12,
+        app_state: vec![7; 256],
+        needed: (0..64).map(|i| (PageId(i), (i % 8) as usize, i)).collect(),
+        tenures: vec![(3, 7, true), (9, 2, false)],
+        last_release_vts: vec![(3, VectorClock::from_vec(vec![9; 8]))],
+        home_pages: (0..32)
+            .map(|i| (PageId(i), VectorClock::from_vec(vec![i; 8]), vec![0u8; 4096]))
+            .collect(),
+    };
+    let encoded = blob.encode();
+    let mut g = c.benchmark_group("checkpoint_codec");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode_32_pages", |b| b.iter(|| blob.encode()));
+    g.bench_function("decode_32_pages", |b| {
+        b.iter(|| CheckpointBlob::decode(&encoded).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_diff,
+    bench_vector_clock,
+    bench_wn_table,
+    bench_checkpoint_codec
+);
+criterion_main!(benches);

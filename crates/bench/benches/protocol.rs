@@ -1,0 +1,130 @@
+//! Cluster-level protocol operation costs: page fetch, lock handoff,
+//! barrier crossing, and checkpointing, measured on live 2- and 4-node
+//! simulated clusters.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftdsm::{run, CkptPolicy, ClusterConfig, HomeAlloc, Process};
+
+/// Run `iters` repetitions of an operation inside a fresh cluster and
+/// return the time node 1 spent in the loop.
+fn run_timed(
+    nodes: usize,
+    iters: u64,
+    body: impl Fn(&mut Process, u64) + Send + Sync + 'static,
+) -> Duration {
+    let report = run(
+        ClusterConfig::base(nodes).with_page_size(4096),
+        &[],
+        move |p| {
+            p.barrier();
+            let t0 = Instant::now();
+            body(p, iters);
+            let d = t0.elapsed();
+            p.barrier();
+            d
+        },
+    );
+    report.results[1]
+}
+
+fn bench_page_fetch(c: &mut Criterion) {
+    c.bench_function("protocol/page_fetch_4k", |b| {
+        b.iter_custom(|iters| {
+            run_timed(2, iters, |p, iters| {
+                let data = p.alloc_vec::<u64>(512, HomeAlloc::Node(0));
+                if p.me() == 1 {
+                    for i in 0..iters {
+                        // Touch a fresh page each time by writing at home
+                        // first? Keep it simple: invalidate by round-robin
+                        // through pages; after the first pass reads are
+                        // local, so this measures the amortized fetch+read.
+                        let idx = (i % 512) as usize;
+                        std::hint::black_box(data.get(p, idx));
+                    }
+                } else {
+                    // Home node idles; its service thread answers fetches.
+                }
+            })
+        })
+    });
+}
+
+fn bench_lock_handoff(c: &mut Criterion) {
+    c.bench_function("protocol/lock_roundtrip_2n", |b| {
+        b.iter_custom(|iters| {
+            run_timed(2, iters, |p, iters| {
+                for _ in 0..iters {
+                    p.acquire(3);
+                    p.release(3);
+                }
+            })
+        })
+    });
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    for &n in &[2usize, 4] {
+        c.bench_function(&format!("protocol/barrier_{n}n"), |b| {
+            b.iter_custom(|iters| {
+                run_timed(n, iters, |p, iters| {
+                    for _ in 0..iters {
+                        p.barrier();
+                    }
+                })
+            })
+        });
+    }
+}
+
+fn bench_write_and_flush(c: &mut Criterion) {
+    c.bench_function("protocol/write_release_diff", |b| {
+        b.iter_custom(|iters| {
+            run_timed(2, iters, |p, iters| {
+                let data = p.alloc_vec::<u64>(512, HomeAlloc::Node(0));
+                if p.me() == 1 {
+                    for i in 0..iters {
+                        p.acquire(1);
+                        data.set(p, (i % 512) as usize, i);
+                        p.release(1); // diff created, logged is off, sent to home
+                    }
+                }
+            })
+        })
+    });
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    c.bench_function("ft/checkpoint_64_pages", |b| {
+        b.iter_custom(|iters| {
+            let report = run(
+                ClusterConfig::fault_tolerant(2)
+                    .with_page_size(4096)
+                    .with_policy(CkptPolicy::Manual),
+                &[],
+                move |p| {
+                    let data = p.alloc_vec::<u64>(64 * 512, HomeAlloc::Node(1));
+                    let mut state = 0u64;
+                    let t0 = Instant::now();
+                    p.run_steps(&mut state, iters, |p, _s, step| {
+                        if p.me() == 1 {
+                            data.set(p, (step % 64) as usize * 512, step);
+                            p.request_checkpoint();
+                        }
+                        p.barrier();
+                    });
+                    t0.elapsed()
+                },
+            );
+            report.results[1]
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3));
+    targets = bench_page_fetch, bench_lock_handoff, bench_barrier, bench_write_and_flush, bench_checkpoint
+}
+criterion_main!(benches);

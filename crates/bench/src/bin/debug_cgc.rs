@@ -1,0 +1,10 @@
+use ftdsm::{run, CkptPolicy, ClusterConfig, DiskMode, DiskModel};
+use splash::{water_sp, WaterSpParams};
+fn main() {
+    let cfg = ClusterConfig::fault_tolerant(8)
+        .with_page_size(4096)
+        .with_policy(CkptPolicy::LogOverflow { l: 0.1 })
+        .with_disk(DiskModel::scsi_1999(1.0, DiskMode::Stall));
+    let r = run(cfg, &[], |p| water_sp(p, &WaterSpParams::paper_scaled()));
+    println!("wmax={} ckpts={}", r.max_ckpt_window(), r.total_ckpts());
+}

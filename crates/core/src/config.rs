@@ -1,0 +1,158 @@
+//! Cluster and fault-tolerance configuration.
+
+use dsm_storage::DiskModel;
+
+/// When a node decides to take an independent checkpoint.
+///
+/// Decisions are evaluated at synchronization points (the paper samples the
+/// volatile log size only there) and latch a "checkpoint due" flag; the
+/// checkpoint itself is taken at the application's next safe point (a step
+/// boundary of [`crate::Process::run_steps`]), where private state can be
+/// captured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CkptPolicy {
+    /// The paper's log-overflow policy `OF(L)`: checkpoint when the volatile
+    /// log exceeds `l` times the shared-memory footprint.
+    LogOverflow {
+        /// Limit as a fraction of the shared footprint (e.g. 0.1).
+        l: f64,
+    },
+    /// Checkpoint every `steps` application safe points.
+    EverySteps(u64),
+    /// Checkpoint after every `k`-th barrier episode. Because all nodes
+    /// cross the same episodes, their checkpoints align without any extra
+    /// coordination messages — the "checkpoints taken by all processes at a
+    /// barrier" scheme the paper suggests for barrier-heavy applications
+    /// (§5.4), which amortizes the stall inside the barrier wait instead of
+    /// spreading stalls randomly between barriers.
+    AtBarrier(u64),
+    /// Checkpoint only when the application calls
+    /// [`crate::Process::request_checkpoint`].
+    Manual,
+    /// Never checkpoint (logging still runs; useful for overhead isolation).
+    Never,
+}
+
+/// Fault-tolerance configuration.
+#[derive(Debug, Clone)]
+pub struct FtConfig {
+    /// Checkpoint policy.
+    pub policy: CkptPolicy,
+    /// Maximum number of per-page `p0.v[writer]` integers piggybacked on a
+    /// single home→writer message (the lazy CGC/LLT propagation).
+    pub piggy_page_batch: usize,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        FtConfig { policy: CkptPolicy::LogOverflow { l: 0.1 }, piggy_page_batch: 32 }
+    }
+}
+
+/// How shared allocations choose page homes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HomeAlloc {
+    /// Pages round-robin across nodes (page i of the allocation homed at
+    /// `(first_page + i) % n`).
+    Interleaved,
+    /// The allocation's pages are split into `n` contiguous blocks, block
+    /// `k` homed at node `k` — the distribution SPLASH-style apps get from
+    /// first-touch.
+    Blocked,
+    /// All pages homed at one node.
+    Node(usize),
+}
+
+/// Full cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes (the paper uses 8).
+    pub nodes: usize,
+    /// Page size in bytes (power of two, multiple of 8).
+    pub page_size: usize,
+    /// Fault tolerance: `None` runs the base HLRC protocol.
+    pub ft: Option<FtConfig>,
+    /// Stable-storage timing model.
+    pub disk: DiskModel,
+}
+
+impl ClusterConfig {
+    /// Base-protocol configuration (no fault tolerance), instant disk.
+    pub fn base(nodes: usize) -> Self {
+        ClusterConfig { nodes, page_size: 4096, ft: None, disk: DiskModel::instant() }
+    }
+
+    /// Fault-tolerant configuration with the default `OF(0.1)` policy and an
+    /// instant disk (tests); benchmarks override `disk`.
+    pub fn fault_tolerant(nodes: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            page_size: 4096,
+            ft: Some(FtConfig::default()),
+            disk: DiskModel::instant(),
+        }
+    }
+
+    /// Replace the page size.
+    pub fn with_page_size(mut self, page_size: usize) -> Self {
+        self.page_size = page_size;
+        self
+    }
+
+    /// Replace the checkpoint policy (enables FT if it was off).
+    pub fn with_policy(mut self, policy: CkptPolicy) -> Self {
+        match &mut self.ft {
+            Some(ft) => ft.policy = policy,
+            None => self.ft = Some(FtConfig { policy, ..FtConfig::default() }),
+        }
+        self
+    }
+
+    /// Replace the disk model.
+    pub fn with_disk(mut self, disk: DiskModel) -> Self {
+        self.disk = disk;
+        self
+    }
+
+    /// Is fault tolerance enabled?
+    pub fn ft_enabled(&self) -> bool {
+        self.ft.is_some()
+    }
+}
+
+/// A scripted fail-stop failure: node `node` crashes when its DSM operation
+/// counter reaches `at_op`. The paper's model allows a single failure at a
+/// time; the runtime rejects overlapping failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureSpec {
+    /// The victim.
+    pub node: usize,
+    /// Crash when the victim's cumulative DSM-operation count reaches this
+    /// value (operations = reads, writes, syncs — anything the runtime
+    /// mediates).
+    pub at_op: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let c = ClusterConfig::base(8)
+            .with_page_size(1024)
+            .with_policy(CkptPolicy::LogOverflow { l: 1.0 });
+        assert_eq!(c.nodes, 8);
+        assert_eq!(c.page_size, 1024);
+        assert!(c.ft_enabled());
+        match c.ft.unwrap().policy {
+            CkptPolicy::LogOverflow { l } => assert_eq!(l, 1.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn base_config_has_no_ft() {
+        assert!(!ClusterConfig::base(4).ft_enabled());
+    }
+}

@@ -1,0 +1,208 @@
+//! Checkpoint blobs.
+//!
+//! A checkpoint contains exactly the state the paper identifies as needed
+//! for recovery: the vector timestamp, the homed pages with their version
+//! vectors, per-page required versions, the owner-side lock state, a few
+//! counters, and the application's private state captured at a step
+//! boundary. The saved volatile logs are written as a separate stable
+//! segment so their size can be tracked independently (Figure 4).
+
+use dsm_page::{PageId, ProcId, VectorClock};
+use dsm_storage::{ByteReader, ByteWriter, CodecError};
+use hlrc::LockId;
+
+use crate::wire;
+
+/// A decoded checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointBlob {
+    /// Checkpoint sequence number at this node (1-based).
+    pub seq: u64,
+    /// `T_ckp`: the node's vector timestamp when the checkpoint was taken.
+    pub tckp: VectorClock,
+    /// Barrier episodes crossed so far.
+    pub bar_episode: u64,
+    /// Next lock-acquisition sequence number.
+    pub acq_seq_next: u64,
+    /// The node's own interval sequence at its last barrier arrival
+    /// (rebuilds the own-notices-since-last-barrier buffer).
+    pub last_bar_arrive_seq: u32,
+    /// The application step the run_steps loop resumes from.
+    pub step: u64,
+    /// Encoded application private state.
+    pub app_state: Vec<u8>,
+    /// Sparse (page, writer, seq) required-version triples.
+    pub needed: Vec<(PageId, ProcId, u32)>,
+    /// Lock tenures: (lock, our acquisition sequence number, released?).
+    /// Unreleased tenures are the locks held at checkpoint time.
+    pub tenures: Vec<(LockId, u64, bool)>,
+    /// Release-time timestamps of locks this node last released.
+    pub last_release_vts: Vec<(LockId, VectorClock)>,
+    /// Homed pages: (page, version vector, contents).
+    pub home_pages: Vec<(PageId, VectorClock, Vec<u8>)>,
+}
+
+impl CheckpointBlob {
+    /// Encode to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(
+            256 + self.app_state.len() + self.home_pages.iter().map(|p| p.2.len() + 64).sum::<usize>(),
+        );
+        w.put_u64(self.seq);
+        wire::put_vt(&mut w, &self.tckp);
+        w.put_u64(self.bar_episode);
+        w.put_u64(self.acq_seq_next);
+        w.put_u32(self.last_bar_arrive_seq);
+        w.put_u64(self.step);
+        w.put_bytes(&self.app_state);
+        w.put_u64(self.needed.len() as u64);
+        for &(p, proc_, seq) in &self.needed {
+            w.put_u32(p.0);
+            w.put_u32(proc_ as u32);
+            w.put_u32(seq);
+        }
+        w.put_u64(self.tenures.len() as u64);
+        for &(l, acq, released) in &self.tenures {
+            w.put_u64(l as u64);
+            w.put_u64(acq);
+            w.put_u8(released as u8);
+        }
+        w.put_u64(self.last_release_vts.len() as u64);
+        for (l, vt) in &self.last_release_vts {
+            w.put_u64(*l as u64);
+            wire::put_vt(&mut w, vt);
+        }
+        w.put_u64(self.home_pages.len() as u64);
+        for (p, v, bytes) in &self.home_pages {
+            w.put_u32(p.0);
+            wire::put_vt(&mut w, v);
+            w.put_bytes(bytes);
+        }
+        w.into_bytes()
+    }
+
+    /// Decode from bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let seq = r.get_u64()?;
+        let tckp = wire::get_vt(&mut r)?;
+        let bar_episode = r.get_u64()?;
+        let acq_seq_next = r.get_u64()?;
+        let last_bar_arrive_seq = r.get_u32()?;
+        let step = r.get_u64()?;
+        let app_state = r.get_bytes()?.to_vec();
+        let n_needed = r.get_u64()? as usize;
+        let mut needed = Vec::with_capacity(n_needed);
+        for _ in 0..n_needed {
+            let p = PageId(r.get_u32()?);
+            let proc_ = r.get_u32()? as usize;
+            let seq = r.get_u32()?;
+            needed.push((p, proc_, seq));
+        }
+        let n_ten = r.get_u64()? as usize;
+        let mut tenures = Vec::with_capacity(n_ten);
+        for _ in 0..n_ten {
+            let l = r.get_u64()? as LockId;
+            let acq = r.get_u64()?;
+            let released = r.get_u8()? != 0;
+            tenures.push((l, acq, released));
+        }
+        let n_rel = r.get_u64()? as usize;
+        let mut last_release_vts = Vec::with_capacity(n_rel);
+        for _ in 0..n_rel {
+            let l = r.get_u64()? as LockId;
+            let vt = wire::get_vt(&mut r)?;
+            last_release_vts.push((l, vt));
+        }
+        let n_pages = r.get_u64()? as usize;
+        let mut home_pages = Vec::with_capacity(n_pages);
+        for _ in 0..n_pages {
+            let p = PageId(r.get_u32()?);
+            let v = wire::get_vt(&mut r)?;
+            let bytes = r.get_bytes()?.to_vec();
+            home_pages.push((p, v, bytes));
+        }
+        Ok(CheckpointBlob {
+            seq,
+            tckp,
+            bar_episode,
+            acq_seq_next,
+            last_bar_arrive_seq,
+            step,
+            app_state,
+            needed,
+            tenures,
+            last_release_vts,
+            home_pages,
+        })
+    }
+
+    /// The version vector of one homed page copy in this checkpoint.
+    pub fn page_version(&self, page: PageId) -> Option<&VectorClock> {
+        self.home_pages.iter().find(|(p, _, _)| *p == page).map(|(_, v, _)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vt(v: &[u32]) -> VectorClock {
+        VectorClock::from_vec(v.to_vec())
+    }
+
+    fn sample() -> CheckpointBlob {
+        CheckpointBlob {
+            seq: 3,
+            tckp: vt(&[4, 1, 0]),
+            bar_episode: 2,
+            acq_seq_next: 7,
+            last_bar_arrive_seq: 3,
+            step: 11,
+            app_state: vec![9, 8, 7],
+            needed: vec![(PageId(2), 1, 5)],
+            tenures: vec![(13, 4, false), (2, 1, true)],
+            last_release_vts: vec![(4, vt(&[2, 0, 0]))],
+            home_pages: vec![(PageId(0), vt(&[4, 0, 0]), vec![0u8; 64])],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let b = sample();
+        let bytes = b.encode();
+        let d = CheckpointBlob::decode(&bytes).unwrap();
+        assert_eq!(d, b);
+    }
+
+    #[test]
+    fn empty_checkpoint_roundtrips() {
+        let b = CheckpointBlob {
+            seq: 1,
+            tckp: vt(&[0, 0]),
+            bar_episode: 0,
+            acq_seq_next: 0,
+            last_bar_arrive_seq: 0,
+            step: 0,
+            app_state: vec![],
+            needed: vec![],
+            tenures: vec![],
+            last_release_vts: vec![],
+            home_pages: vec![],
+        };
+        assert_eq!(CheckpointBlob::decode(&b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn page_version_lookup() {
+        let b = sample();
+        assert_eq!(b.page_version(PageId(0)), Some(&vt(&[4, 0, 0])));
+        assert_eq!(b.page_version(PageId(9)), None);
+    }
+
+    #[test]
+    fn truncated_blob_is_an_error() {
+        let bytes = sample().encode();
+        assert!(CheckpointBlob::decode(&bytes[..bytes.len() - 10]).is_err());
+    }
+}

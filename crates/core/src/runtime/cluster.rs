@@ -1,0 +1,259 @@
+//! Cluster construction and the run loop.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dsm_net::Fabric;
+use dsm_page::VectorClock;
+use dsm_storage::StableStore;
+use hlrc::barrier::BarrierManager;
+use hlrc::{LockManagerTable, PageTable, WnTable};
+use parking_lot::{Condvar, Mutex};
+
+use crate::config::{ClusterConfig, FailureSpec};
+use crate::ft::FtState;
+use crate::msg::Msg;
+use crate::runtime::node::{
+    service_loop, CrashSignal, Mode, NodeShared, NodeState, WaitSlot,
+};
+use crate::runtime::process::Process;
+use crate::stats::{NodeReport, RunReport};
+
+/// Keep injected fail-stop crashes (which are implemented as panics with a
+/// [`CrashSignal`] payload) out of stderr; real panics still print.
+fn install_crash_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<CrashSignal>() {
+                return;
+            }
+            default(info);
+        }));
+    });
+}
+
+/// Run an SPMD application on a simulated cluster.
+///
+/// `app` is invoked once per node with that node's [`Process`] handle (and
+/// re-invoked after a scripted crash, with recovery and replay handled by
+/// the runtime). Returns the per-node results plus all statistics.
+pub fn run<R, F>(config: ClusterConfig, failures: &[FailureSpec], app: F) -> RunReport<R>
+where
+    F: Fn(&mut Process) -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    install_crash_hook();
+    let n = config.nodes;
+    assert!(n >= 2, "a DSM cluster needs at least two nodes");
+    if !failures.is_empty() {
+        assert!(config.ft_enabled(), "failure injection requires fault tolerance");
+    }
+
+    let (fabric, endpoints) = Fabric::<Msg>::new(n);
+    let mut shareds: Vec<Arc<NodeShared>> = Vec::with_capacity(n);
+    for (i, ep) in endpoints.into_iter().enumerate() {
+        let store = Arc::new(StableStore::new(config.disk));
+        let mut crash_queue: Vec<u64> =
+            failures.iter().filter(|f| f.node == i).map(|f| f.at_op).collect();
+        crash_queue.sort_unstable();
+        let state = NodeState {
+            me: i,
+            n,
+            page_size: config.page_size,
+            mode: Mode::Normal,
+            pt: PageTable::new(i, n, config.page_size),
+            vt: VectorClock::zero(n),
+            wn_table: WnTable::new(),
+            lock_mgr: LockManagerTable::new(i),
+            bar_mgr: (i == 0).then(|| BarrierManager::new(n)),
+            held: Default::default(),
+            tenure: Default::default(),
+            last_release_vt: Default::default(),
+            pending_grants: Default::default(),
+            lock_chain_info: Default::default(),
+            wait: WaitSlot::None,
+            rec_inbox: Vec::new(),
+            backlog: Vec::new(),
+            pending_unalloc: Vec::new(),
+            waiting_fetches: Vec::new(),
+            acq_seq_next: 0,
+            bar_episode: 0,
+            req_id_next: 0,
+            wn_since_barrier: Vec::new(),
+            shared_bytes: 0,
+            alloc_cursor: 0,
+            ft: config
+                .ft
+                .clone()
+                .map(|cfg| FtState::new(i, n, cfg, Arc::clone(&store))),
+            replay: None,
+            protocol_time_svc: Duration::ZERO,
+            shutdown: false,
+            ops: 0,
+            crash_queue,
+            recoveries: 0,
+            ep: Arc::new(ep),
+            breakdown_acc: Default::default(),
+        };
+        shareds.push(Arc::new(NodeShared {
+            state: Mutex::new(state),
+            cv: Condvar::new(),
+            me: i,
+            n,
+        }));
+    }
+
+    let service_handles: Vec<_> = shareds
+        .iter()
+        .map(|s| {
+            let s = Arc::clone(s);
+            std::thread::Builder::new()
+                .name(format!("dsm-svc-{}", s.me))
+                .spawn(move || service_loop(s))
+                .expect("spawn service thread")
+        })
+        .collect();
+
+    let app = Arc::new(app);
+    let active_recoveries = Arc::new(AtomicUsize::new(0));
+    let t0 = Instant::now();
+    let app_handles: Vec<_> = (0..n)
+        .map(|i| {
+            let shared = Arc::clone(&shareds[i]);
+            let app = Arc::clone(&app);
+            let fabric = fabric.clone();
+            let active = Arc::clone(&active_recoveries);
+            std::thread::Builder::new()
+                .name(format!("dsm-app-{i}"))
+                .spawn(move || {
+                    let mut recovering = false;
+                    loop {
+                        let mut proc = Process::new(Arc::clone(&shared), recovering);
+                        if recovering {
+                            proc.recover();
+                            active.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        let res = catch_unwind(AssertUnwindSafe(|| app(&mut proc)));
+                        match res {
+                            Ok(v) => {
+                                proc.finish();
+                                return v;
+                            }
+                            Err(p) if p.is::<CrashSignal>() => {
+                                proc.abandon();
+                                let prev = active.fetch_add(1, Ordering::SeqCst);
+                                assert_eq!(
+                                    prev, 0,
+                                    "overlapping failures violate the single-fault model"
+                                );
+                                // Fail-stop: drop protocol state visibility,
+                                // lose queued input.
+                                {
+                                    let mut st = shared.state.lock();
+                                    st.mode = Mode::Crashed;
+                                    st.wait = WaitSlot::None;
+                                    st.replay = None;
+                                }
+                                fabric.crash(i);
+                                {
+                                    let st = shared.state.lock();
+                                    st.ep.drain();
+                                }
+                                // Failure-detection delay.
+                                std::thread::sleep(Duration::from_millis(10));
+                                {
+                                    let mut st = shared.state.lock();
+                                    st.mode = Mode::Recovering;
+                                    st.backlog.clear();
+                                    st.rec_inbox.clear();
+                                    st.pending_unalloc.clear();
+                                }
+                                fabric.restart(i);
+                                recovering = true;
+                            }
+                            Err(p) => resume_unwind(p),
+                        }
+                    }
+                })
+                .expect("spawn app thread")
+        })
+        .collect();
+
+    let results: Vec<R> = app_handles
+        .into_iter()
+        .map(|h| match h.join() {
+            Ok(v) => v,
+            Err(p) => resume_unwind(p),
+        })
+        .collect();
+    let wall = t0.elapsed();
+
+    // Let in-flight protocol traffic (final diff flushes) quiesce.
+    let mut last = fabric.stats().total().msgs_sent;
+    let mut quiet = 0;
+    while quiet < 3 {
+        std::thread::sleep(Duration::from_millis(25));
+        let now = fabric.stats().total().msgs_sent;
+        if now == last {
+            quiet += 1;
+        } else {
+            quiet = 0;
+            last = now;
+        }
+    }
+
+    // Collect reports and compute the final shared-memory hash from the
+    // authoritative home copies.
+    let mut nodes = Vec::with_capacity(n);
+    let mut shared_bytes = 0;
+    let total_pages = shareds[0].state.lock().pt.len();
+    let mut hash: u64 = 0xcbf29ce484222325;
+    let debug_pages = std::env::var_os("FTDSM_DEBUG_PAGES").is_some();
+    for p in 0..total_pages {
+        let page = dsm_page::PageId(p as u32);
+        let home = shareds[0].state.lock().pt.home_of(page);
+        let st = shareds[home].state.lock();
+        let mut ph: u64 = 0xcbf29ce484222325;
+        for &b in st.pt.home_meta(page).copy.bytes() {
+            ph ^= b as u64;
+            ph = ph.wrapping_mul(0x100000001b3);
+        }
+        if debug_pages {
+            let words: Vec<u64> = st.pt.home_meta(page).copy.bytes()[..64]
+                .chunks(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            eprintln!(
+                "[dump] page {page} home {home} v={} hash {ph:016x} words {words:?}",
+                st.pt.home_meta(page).version
+            );
+        }
+        hash ^= ph;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    for (i, s) in shareds.iter().enumerate() {
+        let mut st = s.state.lock();
+        shared_bytes = shared_bytes.max(st.shared_bytes);
+        let mut breakdown = st.breakdown_acc;
+        breakdown.protocol += st.protocol_time_svc;
+        let ft = match st.ft.as_mut() {
+            Some(ft) => {
+                ft.report.log_counters = ft.logs.counters();
+                ft.report.store = ft.store.stats();
+                ft.report.clone()
+            }
+            None => Default::default(),
+        };
+        nodes.push(NodeReport { breakdown, traffic: fabric.stats().node(i).snapshot(), ft, ops: st.ops });
+        st.shutdown = true;
+    }
+    for h in service_handles {
+        let _ = h.join();
+    }
+
+    RunReport { results, nodes, wall, shared_bytes, shared_hash: hash }
+}

@@ -1,0 +1,898 @@
+//! Per-node runtime state and the protocol service loop.
+//!
+//! Each node is a pair of threads sharing a [`NodeState`] behind a mutex:
+//! the *application* thread runs user code and blocks on a condition
+//! variable when an operation needs remote data; the *service* thread
+//! receives fabric messages, advances the protocol, and notifies waiters.
+//! This mirrors the paper's setup, where VMMC handlers service remote
+//! requests while the application computes.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dsm_page::{Diff, PageId, ProcId, VectorClock};
+use dsm_net::{Endpoint, Event};
+use hlrc::barrier::{Arrival, ArriveOutcome, BarrierManager};
+use hlrc::locks::{AcqReq, LockAction, LockManagerTable};
+use hlrc::{LockId, PageTable, WnTable, WriteNotice};
+use parking_lot::{Condvar, Mutex};
+
+use crate::ft::logs::{DiffLogEntry, MgrBarEntry, RelEntry};
+use crate::ft::recovery::ReplayState;
+use crate::ft::FtState;
+use crate::msg::{Msg, Payload, Piggy};
+
+/// Cached check of the FTDSM_TRACE_LOCKS debug flag.
+fn trace_locks() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("FTDSM_TRACE_LOCKS").is_some())
+}
+
+/// Panic payload used to simulate a fail-stop crash of the application
+/// thread at a DSM operation boundary.
+#[derive(Debug)]
+pub struct CrashSignal;
+
+/// Node liveness as seen by its own runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    Normal,
+    Crashed,
+    Recovering,
+}
+
+/// A lock grant in flight to the application thread.
+#[derive(Debug, Clone)]
+pub(crate) struct GrantData {
+    pub lock: LockId,
+    pub acq_seq: u64,
+    pub gen: u64,
+    pub granter: ProcId,
+    pub vt: VectorClock,
+    pub wns: Vec<WriteNotice>,
+}
+
+/// A barrier release in flight to the application thread.
+#[derive(Debug, Clone)]
+pub(crate) struct ReleaseData {
+    pub episode: u64,
+    pub vt: VectorClock,
+    pub wns: Vec<WriteNotice>,
+}
+
+/// What the application thread is currently blocked on.
+#[derive(Debug)]
+pub(crate) enum WaitSlot {
+    None,
+    Page {
+        page: PageId,
+        req_id: u64,
+        home: ProcId,
+        needed: VectorClock,
+        reply: Option<(VectorClock, Vec<u8>)>,
+    },
+    Lock {
+        lock: LockId,
+        acq_seq: u64,
+        manager: ProcId,
+        req_vt: VectorClock,
+        grant: Option<GrantData>,
+    },
+    Barrier {
+        episode: u64,
+        arrive_vt: VectorClock,
+        own_wns: Vec<WriteNotice>,
+        release: Option<ReleaseData>,
+    },
+}
+
+/// A forwarded acquire queued while this node still holds the lock.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingGrant {
+    pub requester: ProcId,
+    pub acq_seq: u64,
+    pub gen: u64,
+    /// Our tenure (by our own acquisition number) this grant chains behind.
+    pub pred_acq: u64,
+    pub req_vt: VectorClock,
+}
+
+/// The mutable state of one node.
+pub(crate) struct NodeState {
+    pub me: ProcId,
+    pub n: usize,
+    pub page_size: usize,
+    pub mode: Mode,
+    pub pt: PageTable,
+    pub vt: VectorClock,
+    pub wn_table: WnTable,
+    pub lock_mgr: LockManagerTable,
+    pub bar_mgr: Option<BarrierManager>,
+    pub held: HashSet<LockId>,
+    /// Latest tenure per lock: (our own acquisition sequence number,
+    /// released?). Deterministic local knowledge, reconstructed exactly by
+    /// checkpoint restore plus replay — the basis of forward gating.
+    pub tenure: HashMap<LockId, (u64, bool)>,
+    pub last_release_vt: HashMap<LockId, VectorClock>,
+    pub pending_grants: HashMap<LockId, Vec<PendingGrant>>,
+    /// Highest grant generation this node issued or queued, per lock, with
+    /// the grantee and the grantee's acquisition sequence number (reported
+    /// to a recovering manager for chain rebuild).
+    pub lock_chain_info: HashMap<LockId, (u64, ProcId, u64)>,
+    pub wait: WaitSlot,
+    /// Recovery replies deposited by the service thread while recovering.
+    pub rec_inbox: Vec<(ProcId, Payload)>,
+    /// Non-recovery messages deferred while recovering.
+    pub backlog: Vec<(ProcId, Payload)>,
+    /// Messages referencing pages this node has not allocated yet (SPMD
+    /// allocation is local, so an eager peer can request a page before our
+    /// application thread reaches the corresponding alloc). Replayed by
+    /// [`crate::Process::alloc`].
+    pub pending_unalloc: Vec<(ProcId, Payload)>,
+    /// Remote fetches waiting for in-flight diffs at this home.
+    pub waiting_fetches: Vec<(ProcId, PageId, VectorClock, u64)>,
+    pub acq_seq_next: u64,
+    pub bar_episode: u64,
+    pub req_id_next: u64,
+    /// Own write notices since the last barrier arrival.
+    pub wn_since_barrier: Vec<WriteNotice>,
+    pub shared_bytes: u64,
+    /// Allocation cursor (page index of the next allocation).
+    pub alloc_cursor: u32,
+    pub ft: Option<FtState>,
+    pub replay: Option<ReplayState>,
+    /// Service-thread protocol handler time.
+    pub protocol_time_svc: Duration,
+    pub shutdown: bool,
+    /// DSM operations executed (crash-injection clock).
+    pub ops: u64,
+    /// Scripted failures (ascending op counts).
+    pub crash_queue: Vec<u64>,
+    pub recoveries: u64,
+    pub ep: Arc<Endpoint<Msg>>,
+    /// Breakdown accumulated across this node's incarnations.
+    pub breakdown_acc: crate::stats::Breakdown,
+}
+
+/// Everything shared between a node's threads.
+pub(crate) struct NodeShared {
+    pub state: Mutex<NodeState>,
+    pub cv: Condvar,
+    pub me: ProcId,
+    pub n: usize,
+}
+
+impl NodeState {
+    /// Send a protocol message with the FT piggyback attached (when it
+    /// carries news: a checkpoint timestamp the destination hasn't seen,
+    /// `p0.v` hints, or — on barrier releases — the gossip table).
+    pub(crate) fn send(&mut self, to: ProcId, payload: Payload) {
+        let gossip = matches!(payload, Payload::BarrierRelease { .. });
+        let piggy = self.make_piggy(to, gossip);
+        let ep = Arc::clone(&self.ep);
+        ep.send(to, Msg { payload, piggy });
+    }
+
+    fn make_piggy(&mut self, to: ProcId, gossip: bool) -> Option<Piggy> {
+        let me = self.me;
+        let homed = if self.pt.is_empty() { Vec::new() } else { self.pt.homed_pages() };
+        let ft = self.ft.as_mut()?;
+        let mut p0v = Vec::new();
+        if !homed.is_empty() && !ft.retained.is_empty() {
+            let batch = ft.cfg.piggy_page_batch;
+            let start = ft.piggy_cursor % homed.len();
+            for k in 0..homed.len() {
+                if p0v.len() >= batch {
+                    break;
+                }
+                let page = homed[(start + k) % homed.len()];
+                ft.piggy_cursor = (start + k + 1) % homed.len();
+                if !self.pt.home_meta(page).writers.contains(&to) {
+                    continue;
+                }
+                if let Some(v) = ft.cover_version(me, page) {
+                    let bound = v.get(to);
+                    if bound > 0 && ft.p0v_sent.get(&(page, to)).copied().unwrap_or(0) < bound {
+                        ft.p0v_sent.insert((page, to), bound);
+                        p0v.push((page, bound));
+                    }
+                }
+            }
+        }
+        let news = ft.piggy_sent[to] != ft.ckpt_seq;
+        let table = if gossip { ft.gossip_table(me) } else { Vec::new() };
+        if !news && p0v.is_empty() && table.is_empty() {
+            return None;
+        }
+        ft.piggy_sent[to] = ft.ckpt_seq;
+        Some(Piggy {
+            tckp: ft.last_ckpt_vt.clone(),
+            ckpt_seq: ft.ckpt_seq,
+            ckpt_episode: ft.last_ckpt_episode,
+            p0v,
+            table,
+        })
+    }
+
+    /// Deposit a grant for the blocked application thread.
+    pub(crate) fn deposit_grant(&mut self, g: GrantData) {
+        if let WaitSlot::Lock { acq_seq, grant, .. } = &mut self.wait {
+            if *acq_seq == g.acq_seq && grant.is_none() {
+                *grant = Some(g);
+            }
+        }
+        // Anything else is a stale retransmission: drop.
+    }
+
+    /// Deposit a barrier release.
+    pub(crate) fn deposit_release(&mut self, r: ReleaseData) {
+        if let WaitSlot::Barrier { episode, release, .. } = &mut self.wait {
+            if *episode == r.episode && release.is_none() {
+                *release = Some(r);
+            }
+        }
+    }
+
+    /// Deposit a page reply.
+    pub(crate) fn deposit_page(&mut self, req_id: u64, version: VectorClock, bytes: Vec<u8>) {
+        if let WaitSlot::Page { req_id: want, reply, .. } = &mut self.wait {
+            if *want == req_id && reply.is_none() {
+                *reply = Some((version, bytes));
+            }
+        }
+    }
+}
+
+/// End the current interval: turn twins into diffs, publish write notices,
+/// send diffs to remote homes, and (FT) log everything.
+///
+/// Returns (protocol time, logging time) spent.
+pub(crate) fn end_interval(st: &mut NodeState) -> (Duration, Duration) {
+    if st.pt.written_pages().is_empty() {
+        return (Duration::ZERO, Duration::ZERO);
+    }
+    let t0 = Instant::now();
+    let me = st.me;
+    let iv = st.vt.tick(me);
+    let diffs = st.pt.end_interval(iv);
+    if diffs.is_empty() {
+        // Twins existed but no word actually changed: nothing to publish.
+        return (t0.elapsed(), Duration::ZERO);
+    }
+    let pages: Vec<PageId> = diffs.iter().map(|d| d.page).collect();
+    st.wn_table.insert_parts(iv, pages.clone());
+    st.wn_since_barrier.push(WriteNotice { interval: iv, pages: pages.clone() });
+
+    // Group diffs for remote homes.
+    let mut per_home: HashMap<ProcId, Vec<Diff>> = HashMap::new();
+    for d in &diffs {
+        let home = st.pt.home_of(d.page);
+        if home != me {
+            per_home.entry(home).or_default().push(d.clone());
+        }
+    }
+    let proto = t0.elapsed();
+
+    // FT: log the write notice and every diff (including homed pages').
+    let t1 = Instant::now();
+    if let Some(ft) = st.ft.as_mut() {
+        let t = st.vt.clone();
+        let entries = diffs
+            .into_iter()
+            .map(|diff| DiffLogEntry { diff, t: t.clone(), saved: false })
+            .collect();
+        ft.logs.log_interval(iv.seq, pages, entries);
+    }
+    let logging = t1.elapsed();
+
+    for (home, batch) in per_home {
+        st.send(home, Payload::DiffBatch { diffs: batch });
+    }
+    (proto, logging)
+}
+
+/// Apply the pending homed-page diffs whose creators had seen at most
+/// `st.vt[me]` of our history (recovery replay ordering; see DESIGN.md).
+pub(crate) fn apply_pending_home(st: &mut NodeState) {
+    let Some(replay) = st.replay.as_mut() else { return };
+    if replay.pending_home.is_empty() {
+        return;
+    }
+    let bound = st.vt.get(st.me);
+    // `pending_home` is kept sorted in a linear extension of happens-before;
+    // applying the eligible subset in order preserves same-word ordering.
+    let mut rest = Vec::with_capacity(replay.pending_home.len());
+    for e in replay.pending_home.drain(..) {
+        if e.t.get(st.me) <= bound {
+            st.pt.home_apply_diff(&e.diff);
+        } else {
+            rest.push(e);
+        }
+    }
+    replay.pending_home = rest;
+    serve_waiting_fetches(st);
+}
+
+/// Produce a grant right now (the lock is free at this node).
+pub(crate) fn grant_now(
+    st: &mut NodeState,
+    lock: LockId,
+    requester: ProcId,
+    acq_seq: u64,
+    gen: u64,
+    req_vt: VectorClock,
+) {
+    let n = st.n;
+    let req_vt = if req_vt.is_empty() { VectorClock::zero(n) } else { req_vt };
+    let grant_vt = st
+        .last_release_vt
+        .get(&lock)
+        .cloned()
+        .unwrap_or_else(|| VectorClock::zero(n));
+    let wns = st.wn_table.missing_between(&req_vt, &grant_vt);
+    if trace_locks() {
+        eprintln!(
+            "[grant] node {} -> {} lock {} acq{} gen{} vt={} req_vt={} wns={}",
+            st.me, requester, lock, acq_seq, gen, grant_vt, req_vt, wns.len()
+        );
+    }
+    if let Some(ft) = st.ft.as_mut() {
+        let mut t_after = req_vt.clone();
+        t_after.join(&grant_vt);
+        ft.logs.log_rel(requester, RelEntry { acq_seq, lock, gen, req_vt, t_after });
+    }
+    deliver_grant(
+        st,
+        requester,
+        GrantData { lock, acq_seq, gen, granter: st.me, vt: grant_vt, wns },
+    );
+}
+
+fn deliver_grant(st: &mut NodeState, to: ProcId, g: GrantData) {
+    if to == st.me {
+        st.deposit_grant(g);
+    } else {
+        st.send(
+            to,
+            Payload::LockGrant { lock: g.lock, acq_seq: g.acq_seq, gen: g.gen, vt: g.vt, wns: g.wns },
+        );
+    }
+}
+
+/// Handle a forwarded acquire at the granter (chain predecessor).
+pub(crate) fn handle_forward(
+    st: &mut NodeState,
+    lock: LockId,
+    requester: ProcId,
+    acq_seq: u64,
+    gen: u64,
+    pred_acq: u64,
+    req_vt: VectorClock,
+) {
+    // Track the newest grant this node is responsible for (manager
+    // recovery).
+    let e = st.lock_chain_info.entry(lock).or_insert((gen, requester, acq_seq));
+    if gen >= e.0 {
+        *e = (gen, requester, acq_seq);
+    }
+    // Retransmission of a grant we already produced? Replay it from the
+    // release log so the requester sees an identical grant.
+    if let Some(ft) = st.ft.as_ref() {
+        if let Some(entry) = ft.logs.find_rel(requester, acq_seq) {
+            if entry.lock == lock {
+                let g = GrantData {
+                    lock,
+                    acq_seq,
+                    gen,
+                    granter: st.me,
+                    vt: entry.t_after.clone(),
+                    wns: st.wn_table.missing_between(&entry.req_vt, &entry.t_after),
+                };
+                deliver_grant(st, requester, g);
+                return;
+            }
+        }
+    }
+    // The forward chains behind our tenure whose own acquisition number is
+    // `pred_acq`. If we have already released that tenure (or any newer
+    // one), grant immediately from our latest release timestamp
+    // (conservative: extra happens-before edges are harmless). Otherwise
+    // the tenure is still in flight — possibly our grant for it has not
+    // even arrived yet, since the manager advances the tail at forward
+    // time — and the requester queues until our release.
+    // A forward can reference our tenure before its own grant has reached
+    // us (the manager advances the tail at forward time): if we are
+    // currently blocked acquiring this very tenure, the requester queues
+    // until our release.
+    let in_flight = matches!(
+        &st.wait,
+        WaitSlot::Lock { lock: l, acq_seq: s, .. } if *l == lock && *s == pred_acq
+    );
+    let grantable = pred_acq == u64::MAX
+        || (!in_flight
+            && match st.tenure.get(&lock) {
+                None => true, // no record: the tenure predates anything we know
+                Some(&(ts, released)) => pred_acq < ts || (pred_acq == ts && released),
+            });
+    if trace_locks() {
+        eprintln!(
+            "[fwd] node {} lock {} req {} acq{} gen{} pred{} tenure={:?} grantable={}",
+            st.me, lock, requester, acq_seq, gen, pred_acq, st.tenure.get(&lock), grantable
+        );
+    }
+    if !grantable {
+        st.pending_grants
+            .entry(lock)
+            .or_default()
+            .push(PendingGrant { requester, acq_seq, gen, pred_acq, req_vt });
+        return;
+    }
+    grant_now(st, lock, requester, acq_seq, gen, req_vt);
+}
+
+/// Route a manager decision: either grant locally or forward.
+pub(crate) fn dispatch_lock_action(st: &mut NodeState, a: LockAction) {
+    if a.grant_from == st.me {
+        handle_forward(st, a.lock, a.req.requester, a.req.acq_seq, a.gen, a.pred_acq, a.req.vt);
+    } else {
+        st.send(
+            a.grant_from,
+            Payload::LockForward {
+                lock: a.lock,
+                requester: a.req.requester,
+                acq_seq: a.req.acq_seq,
+                gen: a.gen,
+                pred_acq: a.pred_acq,
+                vt: a.req.vt,
+            },
+        );
+    }
+}
+
+/// Serve queued remote fetches whose required version is now satisfied.
+pub(crate) fn serve_waiting_fetches(st: &mut NodeState) {
+    if st.waiting_fetches.is_empty() {
+        return;
+    }
+    let pending = std::mem::take(&mut st.waiting_fetches);
+    for (from, page, needed, req_id) in pending {
+        if st.pt.home_satisfies(page, &needed) {
+            let h = st.pt.home_meta(page);
+            let version = h.version.clone();
+            let bytes = h.copy.bytes().to_vec();
+            st.send(from, Payload::PageReply { page, req_id, version, bytes });
+        } else {
+            st.waiting_fetches.push((from, page, needed, req_id));
+        }
+    }
+}
+
+/// Process a barrier arrival at the manager (local or remote).
+pub(crate) fn barrier_manager_arrive(st: &mut NodeState, arrival: Arrival) {
+    let mgr = st.bar_mgr.as_mut().expect("barrier arrival at non-manager");
+    match mgr.arrive(arrival) {
+        ArriveOutcome::Pending => {}
+        ArriveOutcome::Complete(rel) => {
+            if let Some(ft) = st.ft.as_mut() {
+                ft.logs.log_bar_mgr(MgrBarEntry {
+                    episode: rel.episode,
+                    arrival_vts: rel.arrival_vts.clone(),
+                    result_vt: rel.vt.clone(),
+                });
+            }
+            let me = st.me;
+            for p in 0..st.n {
+                let data = ReleaseData {
+                    episode: rel.episode,
+                    vt: rel.vt.clone(),
+                    wns: rel.per_proc_wns[p].clone(),
+                };
+                if p == me {
+                    st.deposit_release(data);
+                } else {
+                    st.send(
+                        p,
+                        Payload::BarrierRelease { episode: data.episode, vt: data.vt, wns: data.wns },
+                    );
+                }
+            }
+        }
+        ArriveOutcome::Resend { proc, release } => {
+            let data = ReleaseData {
+                episode: release.episode,
+                vt: release.vt.clone(),
+                wns: release.per_proc_wns[proc].clone(),
+            };
+            if proc == st.me {
+                st.deposit_release(data);
+            } else {
+                st.send(
+                    proc,
+                    Payload::BarrierRelease { episode: data.episode, vt: data.vt, wns: data.wns },
+                );
+            }
+        }
+    }
+}
+
+/// Build the reply to a recovering peer's log-collection handshake.
+fn build_rec_log_reply(st: &NodeState, r: ProcId) -> Payload {
+    let ft = st.ft.as_ref().expect("recovery handshake without FT");
+    Payload::RecLogReply {
+        wn: ft.logs.wn.clone(),
+        rel_for_you: ft.logs.rel[r].clone(),
+        acq_mirror: ft.logs.acq[r].clone(),
+        bar: ft.logs.bar.clone(),
+        bar_mgr: ft.logs.bar_mgr.clone(),
+        lock_chains: st
+            .lock_chain_info
+            .iter()
+            .map(|(&lock, &(gen, grantee, grantee_acq))| (lock, gen, grantee, grantee_acq))
+            .collect(),
+    }
+}
+
+/// Serve a maximal-starting-copy request: the newest retained checkpointed
+/// copy whose version the requester's restart checkpoint covers, falling
+/// back to the initial zero page.
+fn serve_rec_page(st: &mut NodeState, from: ProcId, page: PageId, tckp: VectorClock) {
+    assert!(st.pt.is_home(page), "RecPageReq for page {page} not homed here");
+    let n = st.n;
+    let ft = st.ft.as_ref().expect("recovery without FT");
+    let mut found: Option<(VectorClock, Vec<u8>)> = None;
+    for rc in ft.retained.iter().rev() {
+        let Some(v) = rc.versions.get(&page) else { continue };
+        if tckp.covers(v) {
+            let blob = ft
+                .store
+                .read_segment(dsm_storage::SegmentKind::Checkpoint, rc.seq)
+                .expect("retained checkpoint missing from stable storage");
+            let ckpt = crate::ft::ckpt::CheckpointBlob::decode(&blob)
+                .expect("corrupt checkpoint blob");
+            let (_, v, bytes) = ckpt
+                .home_pages
+                .into_iter()
+                .find(|(p, _, _)| *p == page)
+                .expect("page missing from checkpoint");
+            found = Some((v, bytes));
+            break;
+        }
+    }
+    let (version, bytes) =
+        found.unwrap_or_else(|| (VectorClock::zero(n), vec![0u8; st.page_size]));
+    st.send(from, Payload::RecPageReply { page, version, bytes });
+}
+
+/// The highest page a payload references, if any.
+fn max_page(payload: &Payload) -> Option<PageId> {
+    match payload {
+        Payload::PageReq { page, .. }
+        | Payload::RecPageReq { page, .. }
+        | Payload::RecDiffReq { page } => Some(*page),
+        Payload::DiffBatch { diffs } => diffs.iter().map(|d| d.page).max(),
+        _ => None,
+    }
+}
+
+/// Handle one protocol message in normal mode.
+pub(crate) fn handle_msg(st: &mut NodeState, from: ProcId, payload: Payload) {
+    if let Some(p) = max_page(&payload) {
+        if p.index() >= st.pt.len() {
+            st.pending_unalloc.push((from, payload));
+            return;
+        }
+    }
+    match payload {
+        Payload::LockAcq { lock, acq_seq, vt } => {
+            debug_assert_eq!(lock % st.n, st.me, "lock request at wrong manager");
+            if let Some(a) =
+                st.lock_mgr.on_request(lock, AcqReq { requester: from, acq_seq, vt })
+            {
+                dispatch_lock_action(st, a);
+            }
+        }
+        Payload::LockForward { lock, requester, acq_seq, gen, pred_acq, vt } => {
+            handle_forward(st, lock, requester, acq_seq, gen, pred_acq, vt);
+        }
+        Payload::LockGrant { lock, acq_seq, gen, vt, wns } => {
+            st.deposit_grant(GrantData { lock, acq_seq, gen, granter: from, vt, wns });
+        }
+        Payload::DiffBatch { diffs } => {
+            for d in &diffs {
+                st.pt.home_apply_diff(d);
+            }
+            serve_waiting_fetches(st);
+        }
+        Payload::BarrierArrive { episode, vt, own_wns } => {
+            barrier_manager_arrive(st, Arrival { proc: from, episode, vt, own_wns });
+        }
+        Payload::BarrierRelease { episode, vt, wns } => {
+            st.deposit_release(ReleaseData { episode, vt, wns });
+        }
+        Payload::PageReq { page, needed, req_id } => {
+            if st.pt.is_home(page) && st.pt.home_satisfies(page, &needed) {
+                let h = st.pt.home_meta(page);
+                let version = h.version.clone();
+                let bytes = h.copy.bytes().to_vec();
+                st.send(from, Payload::PageReply { page, req_id, version, bytes });
+            } else {
+                assert!(st.pt.is_home(page), "PageReq for page {page} not homed here");
+                st.waiting_fetches.push((from, page, needed, req_id));
+            }
+        }
+        Payload::PageReply { req_id, version, bytes, .. } => {
+            st.deposit_page(req_id, version, bytes);
+        }
+        Payload::RecLogReq => {
+            let reply = build_rec_log_reply(st, from);
+            st.send(from, reply);
+        }
+        Payload::RecPageReq { page, tckp } => {
+            serve_rec_page(st, from, page, tckp);
+        }
+        Payload::RecDiffReq { page } => {
+            let entries = st
+                .ft
+                .as_ref()
+                .and_then(|ft| ft.logs.diffs.get(&page).cloned())
+                .unwrap_or_default();
+            st.send(from, Payload::RecDiffReply { page, entries });
+        }
+        // Replies to *our* recovery arriving after we already went live are
+        // stale duplicates.
+        Payload::RecLogReply { .. } | Payload::RecPageReply { .. } | Payload::RecDiffReply { .. } => {}
+    }
+}
+
+/// Replay messages that were deferred because they referenced pages this
+/// node had not allocated yet (called after every allocation).
+pub(crate) fn drain_unalloc(st: &mut NodeState) {
+    if st.pending_unalloc.is_empty() {
+        return;
+    }
+    let pending = std::mem::take(&mut st.pending_unalloc);
+    for (from, payload) in pending {
+        handle_msg(st, from, payload);
+    }
+}
+
+/// A crashed peer restarted: re-issue lost forwards and retransmit whatever
+/// request our application thread is blocked on against that peer.
+pub(crate) fn handle_node_up(st: &mut NodeState, node: ProcId) {
+    for a in st.lock_mgr.on_node_up(node) {
+        dispatch_lock_action(st, a);
+    }
+    match &st.wait {
+        WaitSlot::Page { page, req_id, home, needed, reply: None } if *home == node => {
+            let (page, req_id, needed) = (*page, *req_id, needed.clone());
+            st.send(node, Payload::PageReq { page, needed, req_id });
+        }
+        WaitSlot::Lock { lock, acq_seq, manager, req_vt, grant: None } if *manager == node => {
+            let (lock, acq_seq, vt) = (*lock, *acq_seq, req_vt.clone());
+            st.send(node, Payload::LockAcq { lock, acq_seq, vt });
+        }
+        WaitSlot::Barrier { episode, arrive_vt, own_wns, release: None } if node == 0 => {
+            let (episode, vt, own_wns) = (*episode, arrive_vt.clone(), own_wns.clone());
+            st.send(node, Payload::BarrierArrive { episode, vt, own_wns });
+        }
+        _ => {}
+    }
+}
+
+/// The service loop: one per node, owns message receipt.
+pub(crate) fn service_loop(shared: Arc<NodeShared>) {
+    let ep = Arc::clone(&shared.state.lock().ep);
+    loop {
+        {
+            let st = shared.state.lock();
+            if st.shutdown {
+                return;
+            }
+        }
+        let Some(ev) = ep.recv_timeout(Duration::from_millis(10)) else { continue };
+        let mut st = shared.state.lock();
+        let t0 = Instant::now();
+        match ev {
+            Event::NodeUp { node } => match st.mode {
+                Mode::Normal => handle_node_up(&mut st, node),
+                // Single-fault model: no other node can restart while we are
+                // crashed or recovering.
+                Mode::Crashed | Mode::Recovering => {}
+            },
+            Event::Msg { from, msg } => {
+                if st.mode != Mode::Crashed {
+                    if let (Some(p), true) = (&msg.piggy, st.ft.is_some()) {
+                        st.ft.as_mut().unwrap().absorb_piggy(from, p);
+                    }
+                }
+                match st.mode {
+                    Mode::Crashed => {}
+                    Mode::Recovering => match msg.payload {
+                        Payload::RecLogReply { .. }
+                        | Payload::RecPageReply { .. }
+                        | Payload::RecDiffReply { .. } => {
+                            st.rec_inbox.push((from, msg.payload));
+                        }
+                        other => st.backlog.push((from, other)),
+                    },
+                    Mode::Normal => handle_msg(&mut st, from, msg.payload),
+                }
+            }
+        }
+        st.protocol_time_svc += t0.elapsed();
+        drop(st);
+        shared.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FtConfig;
+    use crate::ft::FtState;
+    use dsm_net::Fabric;
+    use dsm_storage::{DiskModel, StableStore};
+
+    fn test_state(me: ProcId, n: usize, ft: bool) -> (NodeState, Vec<Arc<Endpoint<Msg>>>) {
+        let (_fabric, endpoints) = Fabric::<Msg>::new(n);
+        let mut eps: Vec<Arc<Endpoint<Msg>>> = endpoints.into_iter().map(Arc::new).collect();
+        let ep = Arc::clone(&eps[me]);
+        let store = Arc::new(StableStore::new(DiskModel::instant()));
+        let st = NodeState {
+            me,
+            n,
+            page_size: 256,
+            mode: Mode::Normal,
+            pt: PageTable::new(me, n, 256),
+            vt: VectorClock::zero(n),
+            wn_table: WnTable::new(),
+            lock_mgr: LockManagerTable::new(me),
+            bar_mgr: (me == 0).then(|| BarrierManager::new(n)),
+            held: Default::default(),
+            tenure: Default::default(),
+            last_release_vt: Default::default(),
+            pending_grants: Default::default(),
+            lock_chain_info: Default::default(),
+            wait: WaitSlot::None,
+            rec_inbox: Vec::new(),
+            backlog: Vec::new(),
+            pending_unalloc: Vec::new(),
+            waiting_fetches: Vec::new(),
+            acq_seq_next: 0,
+            bar_episode: 0,
+            req_id_next: 0,
+            wn_since_barrier: Vec::new(),
+            shared_bytes: 0,
+            alloc_cursor: 0,
+            ft: ft.then(|| FtState::new(me, n, FtConfig::default(), store)),
+            replay: None,
+            protocol_time_svc: Duration::ZERO,
+            shutdown: false,
+            ops: 0,
+            crash_queue: Vec::new(),
+            recoveries: 0,
+            ep,
+            breakdown_acc: Default::default(),
+        };
+        eps.remove(me);
+        (st, eps)
+    }
+
+    #[test]
+    fn forward_behind_released_tenure_grants_immediately() {
+        let (mut st, _eps) = test_state(0, 3, false);
+        st.tenure.insert(9, (4, true)); // our acquisition #4, released
+        st.last_release_vt.insert(9, VectorClock::from_vec(vec![2, 0, 0]));
+        handle_forward(&mut st, 9, 1, 0, 10, 4, VectorClock::zero(3));
+        assert!(st.pending_grants.is_empty(), "released tenure must grant now");
+    }
+
+    #[test]
+    fn forward_behind_unreleased_tenure_queues() {
+        let (mut st, _eps) = test_state(0, 3, false);
+        st.tenure.insert(9, (4, false)); // still holding acquisition #4
+        st.held.insert(9);
+        handle_forward(&mut st, 9, 1, 0, 10, 4, VectorClock::zero(3));
+        assert_eq!(st.pending_grants[&9].len(), 1);
+        assert_eq!(st.pending_grants[&9][0].pred_acq, 4);
+    }
+
+    #[test]
+    fn forward_behind_in_flight_acquire_queues() {
+        // The grant for our own acquisition #5 has not arrived yet, but the
+        // manager already chained a requester behind it.
+        let (mut st, _eps) = test_state(0, 3, false);
+        st.tenure.insert(9, (4, true));
+        st.wait = WaitSlot::Lock {
+            lock: 9,
+            acq_seq: 5,
+            manager: 1,
+            req_vt: VectorClock::zero(3),
+            grant: None,
+        };
+        handle_forward(&mut st, 9, 2, 0, 11, 5, VectorClock::zero(3));
+        assert_eq!(st.pending_grants[&9].len(), 1, "in-flight tenure must queue");
+    }
+
+    #[test]
+    fn chain_start_forward_always_grants() {
+        let (mut st, _eps) = test_state(0, 3, false);
+        handle_forward(&mut st, 9, 1, 0, 1, u64::MAX, VectorClock::zero(3));
+        assert!(st.pending_grants.is_empty());
+    }
+
+    #[test]
+    fn forward_retransmission_replays_logged_grant() {
+        let (mut st, _eps) = test_state(0, 3, true);
+        st.last_release_vt.insert(9, VectorClock::from_vec(vec![3, 0, 0]));
+        st.tenure.insert(9, (0, true));
+        // First forward: grants and logs.
+        handle_forward(&mut st, 9, 1, 7, 10, 0, VectorClock::zero(3));
+        let logged = st.ft.as_ref().unwrap().logs.find_rel(1, 7).cloned().unwrap();
+        // Retransmission (zero-length vt, as after a crash): identical grant
+        // from the log, no new rel entry.
+        handle_forward(&mut st, 9, 1, 7, 10, 0, VectorClock::zero(0));
+        let ft = st.ft.as_ref().unwrap();
+        assert_eq!(ft.logs.rel[1].len(), 1);
+        assert_eq!(ft.logs.find_rel(1, 7).unwrap(), &logged);
+    }
+
+    #[test]
+    fn deposits_match_only_the_waited_for_slot() {
+        let (mut st, _eps) = test_state(1, 3, false);
+        st.wait = WaitSlot::Page {
+            page: PageId(3),
+            req_id: 42,
+            home: 0,
+            needed: VectorClock::zero(3),
+            reply: None,
+        };
+        // Stale reply for an older request id is dropped.
+        st.deposit_page(41, VectorClock::zero(3), vec![0; 256]);
+        if let WaitSlot::Page { reply, .. } = &st.wait {
+            assert!(reply.is_none());
+        }
+        st.deposit_page(42, VectorClock::zero(3), vec![0; 256]);
+        if let WaitSlot::Page { reply, .. } = &st.wait {
+            assert!(reply.is_some());
+        } else {
+            panic!("slot vanished");
+        }
+    }
+
+    #[test]
+    fn piggyback_is_attached_only_when_it_carries_news() {
+        let (mut st, _eps) = test_state(0, 2, true);
+        // Fresh FT state advertises checkpoint 0 once.
+        let first = st.make_piggy(1, false);
+        assert!(first.is_some());
+        let second = st.make_piggy(1, false);
+        assert!(second.is_none(), "no news: no piggyback");
+        // A gossip request always produces one (even without news) when the
+        // table would be empty it still returns None though:
+        let gossip = st.make_piggy(1, true);
+        assert!(gossip.is_none(), "empty gossip table carries no news");
+        // After a checkpoint-sequence bump, news flows again.
+        st.ft.as_mut().unwrap().ckpt_seq = 1;
+        assert!(st.make_piggy(1, false).is_some());
+    }
+
+    #[test]
+    fn messages_for_unallocated_pages_are_deferred() {
+        let (mut st, _eps) = test_state(0, 2, false);
+        handle_msg(
+            &mut st,
+            1,
+            Payload::PageReq { page: PageId(5), needed: VectorClock::zero(2), req_id: 0 },
+        );
+        assert_eq!(st.pending_unalloc.len(), 1);
+        for _ in 0..6 {
+            st.pt.add_page(0);
+        }
+        drain_unalloc(&mut st);
+        assert!(st.pending_unalloc.is_empty());
+        // The fetch is now answered (page 5 exists, zero version satisfies).
+        assert!(st.waiting_fetches.is_empty());
+    }
+}

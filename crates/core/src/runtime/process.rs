@@ -1,0 +1,885 @@
+//! The application-facing DSM handle.
+//!
+//! One [`Process`] per node, used by the application thread. All shared
+//! memory access, synchronization, allocation, checkpoint safe points, and
+//! (after a crash) log-based replay run through it.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dsm_page::{GlobalAddr, Layout, PageId, VectorClock};
+use dsm_storage::{ByteReader, ByteWriter};
+use hlrc::barrier::Arrival;
+use hlrc::locks::AcqReq;
+use hlrc::{AccessOutcome, LockId};
+use parking_lot::MutexGuard;
+
+use crate::config::HomeAlloc;
+use crate::ft::logs::{BarEntry, RelEntry};
+use crate::ft::recovery::{self, linear_key, ReplayPage};
+use crate::msg::Payload;
+use crate::runtime::node::{
+    apply_pending_home, barrier_manager_arrive, dispatch_lock_action, end_interval, grant_now,
+    CrashSignal, GrantData, Mode, NodeShared, NodeState, ReleaseData, WaitSlot,
+};
+use crate::shareable::Shareable;
+use crate::stats::Breakdown;
+
+/// Maximum size of a single typed access.
+const MAX_ACCESS: usize = 256;
+
+/// How long a blocked DSM operation waits before declaring a deadlock.
+const WAIT_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Application private state that can be captured in a checkpoint.
+///
+/// Everything the application mutates across steps must live in one value
+/// implementing this trait (see [`Process::run_steps`]); the paper
+/// checkpoints processor state, which a thread cannot snapshot, so the
+/// state is captured at step boundaries instead.
+pub trait AppState {
+    /// Encode into the checkpoint.
+    fn encode(&self, w: &mut ByteWriter);
+    /// Decode from a checkpoint.
+    fn decode(r: &mut ByteReader) -> Self;
+}
+
+impl AppState for () {
+    fn encode(&self, _w: &mut ByteWriter) {}
+    fn decode(_r: &mut ByteReader) -> Self {}
+}
+
+impl AppState for u64 {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(*self);
+    }
+    fn decode(r: &mut ByteReader) -> Self {
+        r.get_u64().expect("corrupt app state")
+    }
+}
+
+impl AppState for Vec<u8> {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_bytes(self);
+    }
+    fn decode(r: &mut ByteReader) -> Self {
+        r.get_bytes().expect("corrupt app state").to_vec()
+    }
+}
+
+impl AppState for Vec<f64> {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.len() as u64);
+        for v in self {
+            w.put_f64(*v);
+        }
+    }
+    fn decode(r: &mut ByteReader) -> Self {
+        let len = r.get_u64().expect("corrupt app state") as usize;
+        (0..len).map(|_| r.get_f64().expect("corrupt app state")).collect()
+    }
+}
+
+/// A typed, fixed-length array in shared memory.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedVec<T> {
+    base: GlobalAddr,
+    len: usize,
+    _t: std::marker::PhantomData<T>,
+}
+
+impl<T: Shareable> SharedVec<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the array has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Address of element `i`.
+    pub fn addr(&self, i: usize) -> GlobalAddr {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        self.base + (i * T::BYTES) as u64
+    }
+
+    /// Read element `i`.
+    pub fn get(&self, proc: &mut Process, i: usize) -> T {
+        proc.read(self.addr(i))
+    }
+
+    /// Write element `i`.
+    pub fn set(&self, proc: &mut Process, i: usize, v: T) {
+        proc.write(self.addr(i), v)
+    }
+}
+
+/// Lock the node state, count the operation, and fire scripted crashes.
+fn begin_op(shared: &NodeShared) -> MutexGuard<'_, NodeState> {
+    let mut st = shared.state.lock();
+    st.ops += 1;
+    if let Some(&t) = st.crash_queue.first() {
+        if st.ops >= t && st.mode == Mode::Normal && st.replay.is_none() {
+            st.crash_queue.remove(0);
+            drop(st);
+            std::panic::panic_any(CrashSignal);
+        }
+    }
+    st
+}
+
+/// Block on the node condition variable until `take` produces a value.
+fn wait_until<T>(
+    shared: &NodeShared,
+    st: &mut MutexGuard<'_, NodeState>,
+    mut take: impl FnMut(&mut NodeState) -> Option<T>,
+) -> T {
+    let start = Instant::now();
+    loop {
+        if let Some(v) = take(st) {
+            return v;
+        }
+        let r = shared.cv.wait_for(st, Duration::from_millis(200));
+        if r.timed_out() && start.elapsed() > WAIT_DEADLINE {
+            panic!(
+                "node {}: DSM operation blocked for {:?} — deadlock? wait={:?} vt={} held={:?} pending={:?}",
+                shared.me, WAIT_DEADLINE, st.wait, st.vt, st.held, st.pending_grants
+            );
+        }
+    }
+}
+
+/// The DSM handle of one node's application thread.
+pub struct Process {
+    shared: Arc<NodeShared>,
+    me: usize,
+    n: usize,
+    layout: Layout,
+    breakdown: Breakdown,
+    started: Instant,
+    /// Set when this incarnation restarted after a crash.
+    recovering: bool,
+    /// The step to resume run_steps from (checkpoint restore).
+    restored_step: u64,
+    /// Encoded application state from the restart checkpoint.
+    restored_state: Option<Vec<u8>>,
+}
+
+impl Process {
+    pub(crate) fn new(shared: Arc<NodeShared>, recovering: bool) -> Self {
+        let (me, n, page_size) = {
+            let st = shared.state.lock();
+            (st.me, st.n, st.page_size)
+        };
+        Process {
+            shared,
+            me,
+            n,
+            layout: Layout::new(page_size),
+            breakdown: Breakdown::default(),
+            started: Instant::now(),
+            recovering,
+            restored_step: 0,
+            restored_state: None,
+        }
+    }
+
+    /// This node's rank (0-based).
+    pub fn me(&self) -> usize {
+        self.me
+    }
+
+    /// Cluster size.
+    pub fn nodes(&self) -> usize {
+        self.n
+    }
+
+    /// True when this incarnation resumed from a checkpoint (applications
+    /// guard one-time initialization writes with `!resuming()` or put them
+    /// in step 0 of [`Process::run_steps`]).
+    pub fn resuming(&self) -> bool {
+        self.recovering && (self.restored_step > 0 || self.restored_state.is_some())
+    }
+
+    /// Run the recovery procedure (called by the cluster runtime before
+    /// re-invoking the application closure).
+    pub(crate) fn recover(&mut self) {
+        let (step, state) = recovery::run_recovery(&self.shared);
+        self.restored_step = step;
+        self.restored_state = if state.is_empty() { None } else { Some(state) };
+    }
+
+    // ---- operation plumbing -------------------------------------------------
+    // Guards are obtained through free functions on a locally cloned Arc so
+    // that `&mut self` (breakdown timers) stays available while the node
+    // state is locked.
+
+    // ---- allocation ---------------------------------------------------------
+
+    /// Allocate `bytes` of shared memory (page granular). Every node must
+    /// perform the same allocations in the same order (SPMD); homes are
+    /// chosen deterministically per `home`.
+    pub fn alloc(&mut self, bytes: u64, home: HomeAlloc) -> GlobalAddr {
+        let shared = Arc::clone(&self.shared);
+        let mut st = begin_op(&shared);
+        let pages = self.layout.pages_for(bytes).max(1);
+        let first = st.alloc_cursor;
+        let n = st.n;
+        for i in 0..pages {
+            let idx = first + i;
+            let home_node = match home {
+                HomeAlloc::Interleaved => idx as usize % n,
+                HomeAlloc::Blocked => (i as u64 * n as u64 / pages as u64) as usize,
+                HomeAlloc::Node(p) => {
+                    assert!(p < n, "home node {p} out of range");
+                    p
+                }
+            };
+            if (idx as usize) < st.pt.len() {
+                // Deterministic re-allocation during recovery replay.
+                debug_assert_eq!(st.pt.home_of(PageId(idx)), home_node);
+            } else {
+                let id = st.pt.add_page(home_node);
+                debug_assert_eq!(id.0, idx);
+                st.shared_bytes += self.layout.page_size() as u64;
+            }
+        }
+        st.alloc_cursor = first + pages;
+        crate::runtime::node::drain_unalloc(&mut st);
+        self.layout.page_base(PageId(first))
+    }
+
+    /// Allocate a typed shared array.
+    pub fn alloc_vec<T: Shareable>(&mut self, len: usize, home: HomeAlloc) -> SharedVec<T> {
+        let base = self.alloc((len * T::BYTES) as u64, home);
+        SharedVec { base, len, _t: std::marker::PhantomData }
+    }
+
+    // ---- reads and writes ----------------------------------------------------
+
+    /// Read a typed value.
+    pub fn read<T: Shareable>(&mut self, addr: GlobalAddr) -> T {
+        let mut buf = [0u8; MAX_ACCESS];
+        assert!(T::BYTES <= MAX_ACCESS, "typed access too large");
+        self.access(addr, T::BYTES, None, &mut buf);
+        T::read_from(&buf[..T::BYTES])
+    }
+
+    /// Write a typed value.
+    pub fn write<T: Shareable>(&mut self, addr: GlobalAddr, v: T) {
+        let mut buf = [0u8; MAX_ACCESS];
+        assert!(T::BYTES <= MAX_ACCESS, "typed access too large");
+        v.write_to(&mut buf[..T::BYTES]);
+        self.access(addr, T::BYTES, Some(T::BYTES), &mut buf);
+    }
+
+    /// Read `dst.len()` raw bytes.
+    pub fn read_bytes(&mut self, addr: GlobalAddr, dst: &mut [u8]) {
+        let len = dst.len();
+        self.access(addr, len, None, dst);
+    }
+
+    /// Write raw bytes.
+    pub fn write_bytes(&mut self, addr: GlobalAddr, src: &[u8]) {
+        let mut buf = src.to_vec();
+        let len = src.len();
+        self.access(addr, len, Some(len), &mut buf);
+    }
+
+    /// The access engine: chunk over pages, faulting pages in as needed.
+    /// `write` is `Some(len)` when `buf[..len]` should be written, otherwise
+    /// the bytes are read into `buf`.
+    fn access(&mut self, addr: GlobalAddr, len: usize, write: Option<usize>, buf: &mut [u8]) {
+        {
+            let _st = begin_op(&self.shared); // op accounting + crash injection
+        }
+        let mut done = 0usize;
+        while done < len {
+            let cur = addr + done as u64;
+            let page = self.layout.page_of(cur);
+            let off = self.layout.offset_in_page(cur);
+            let chunk = (self.layout.page_size() - off).min(len - done);
+            self.fault_in(page);
+            let mut st = self.shared.state.lock();
+            // The page may have been invalidated between fault_in and now
+            // only by our own sync ops (we hold the app thread), so it is
+            // still accessible; service-applied invalidations only happen
+            // at our sync points.
+            match st.pt.ensure_access(page) {
+                AccessOutcome::Ready => {
+                    if write.is_some() {
+                        st.pt.write(page, off, &buf[done..done + chunk]);
+                    } else {
+                        buf[done..done + chunk].copy_from_slice(st.pt.read(page, off, chunk));
+                    }
+                    done += chunk;
+                }
+                AccessOutcome::NeedFetch { .. } => {
+                    // Raced with our own protocol activity: fault in again.
+                    drop(st);
+                }
+            }
+        }
+    }
+
+    /// Make `page` accessible: fetch from home, wait for in-flight diffs on
+    /// our own homed page, or (during recovery) emulate the home locally.
+    fn fault_in(&mut self, page: PageId) {
+        let shared = Arc::clone(&self.shared);
+        loop {
+            let mut st = shared.state.lock();
+            match st.pt.ensure_access(page) {
+                AccessOutcome::Ready => return,
+                AccessOutcome::NeedFetch { home, needed } => {
+                    if st.replay.is_some() {
+                        if home == self.me {
+                            apply_pending_home(&mut st);
+                            assert!(
+                                matches!(st.pt.ensure_access(page), AccessOutcome::Ready),
+                                "homed page {page} not ready during replay"
+                            );
+                            return;
+                        }
+                        self.replay_materialize(&mut st, page, home);
+                        continue;
+                    }
+                    let t0 = Instant::now();
+                    if home == self.me {
+                        // Wait for in-flight diffs to reach our own copy.
+                        wait_until(&shared, &mut st, |st| {
+                            matches!(st.pt.ensure_access(page), AccessOutcome::Ready)
+                                .then_some(())
+                        });
+                        self.breakdown.page_wait += t0.elapsed();
+                        return;
+                    }
+                    let req_id = st.req_id_next;
+                    st.req_id_next += 1;
+                    st.wait = WaitSlot::Page {
+                        page,
+                        req_id,
+                        home,
+                        needed: needed.clone(),
+                        reply: None,
+                    };
+                    st.send(home, Payload::PageReq { page, needed, req_id });
+                    let (version, bytes) = wait_until(&shared, &mut st, |st| {
+                        if let WaitSlot::Page { reply, .. } = &mut st.wait {
+                            reply.take()
+                        } else {
+                            None
+                        }
+                    });
+                    st.wait = WaitSlot::None;
+                    st.pt.install_fetch(page, &bytes, &version);
+                    self.breakdown.page_wait += t0.elapsed();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Recovery: build the emulated-home copy of `page` and install it.
+    fn replay_materialize(
+        &mut self,
+        st: &mut MutexGuard<'_, NodeState>,
+        page: PageId,
+        home: usize,
+    ) {
+        let n = self.n;
+        if !st.replay.as_ref().unwrap().pages.contains_key(&page) {
+            // Collect the maximal starting copy and every writer's diff log.
+            let tckp = st.ft.as_ref().unwrap().last_ckpt_vt.clone();
+            st.send(home, Payload::RecPageReq { page, tckp });
+            for p in 0..n {
+                if p != self.me {
+                    st.send(p, Payload::RecDiffReq { page });
+                }
+            }
+            let mut base: Option<(VectorClock, Vec<u8>)> = None;
+            let mut entries = Vec::new();
+            let mut diff_replies = 0usize;
+            wait_until(&self.shared, st, |st| {
+                let mut i = 0;
+                while i < st.rec_inbox.len() {
+                    let matches_page = match &st.rec_inbox[i].1 {
+                        Payload::RecPageReply { page: p, .. } => *p == page,
+                        Payload::RecDiffReply { page: p, .. } => *p == page,
+                        _ => false,
+                    };
+                    if matches_page {
+                        let (_, payload) = st.rec_inbox.remove(i);
+                        match payload {
+                            Payload::RecPageReply { version, bytes, .. } => {
+                                base = Some((version, bytes));
+                            }
+                            Payload::RecDiffReply { entries: es, .. } => {
+                                entries.extend(es);
+                                diff_replies += 1;
+                            }
+                            _ => unreachable!(),
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                (base.is_some() && diff_replies == n - 1).then_some(())
+            });
+            // Our own logged diffs participate too (the pre-crash fetched
+            // copy included them).
+            if let Some(own) = st.ft.as_ref().unwrap().logs.diffs.get(&page) {
+                entries.extend(own.iter().cloned());
+            }
+            entries.sort_by_key(linear_key);
+            let (version, bytes) = base.unwrap();
+            let rp = ReplayPage {
+                copy: dsm_page::Page::from_bytes(&bytes),
+                version,
+                entries,
+            };
+            st.replay.as_mut().unwrap().pages.insert(page, rp);
+        }
+        // Our replay keeps regenerating own diffs (logged at every replayed
+        // interval end); merge any that appeared since the page was first
+        // materialized so that re-materialization after an invalidation
+        // reproduces our own writes. Duplicates are harmless — the
+        // per-writer version gate below skips them.
+        {
+            let me = self.me;
+            let fresh: Vec<_> = st
+                .ft
+                .as_ref()
+                .unwrap()
+                .logs
+                .diffs
+                .get(&page)
+                .map(|own| own.to_vec())
+                .unwrap_or_default();
+            let replay = st.replay.as_mut().unwrap();
+            let rp = replay.pages.get_mut(&page).unwrap();
+            let mut changed = false;
+            for e in fresh {
+                if e.diff.interval.seq > rp.version.get(me)
+                    && !rp.entries.iter().any(|x| x.diff.interval == e.diff.interval)
+                {
+                    rp.entries.push(e);
+                    changed = true;
+                }
+            }
+            if changed {
+                rp.entries.sort_by_key(linear_key);
+            }
+        }
+        // Apply every diff that happened before our current replay point.
+        let vt = st.vt.clone();
+        let replay = st.replay.as_mut().unwrap();
+        let rp = replay.pages.get_mut(&page).unwrap();
+        let mut rest = Vec::with_capacity(rp.entries.len());
+        for e in rp.entries.drain(..) {
+            let writer = e.diff.interval.proc;
+            if vt.covers(&e.t) {
+                if e.diff.interval.seq > rp.version.get(writer) {
+                    e.diff.apply(&mut rp.copy);
+                    rp.version.set(writer, e.diff.interval.seq);
+                }
+            } else {
+                rest.push(e);
+            }
+        }
+        rp.entries = rest;
+        let bytes = rp.copy.bytes().to_vec();
+        let version = rp.version.clone();
+        st.pt.install_fetch(page, &bytes, &version);
+    }
+
+    // ---- synchronization -----------------------------------------------------
+
+    /// Acquire a lock (LRC acquire: joins the granter's release timestamp
+    /// and applies the write notices we were missing).
+    pub fn acquire(&mut self, lock: LockId) {
+        let shared = Arc::clone(&self.shared);
+        let mut st = begin_op(&shared);
+        assert!(!st.held.contains(&lock), "node {} re-acquiring held lock {lock}", self.me);
+        if st.replay.is_some() {
+            if self.try_replay_acquire(&mut st, lock) {
+                return;
+            }
+            recovery::go_live(&mut st);
+        }
+        let acq_seq = st.acq_seq_next;
+        st.acq_seq_next += 1;
+        let manager = lock % st.n;
+        let req_vt = st.vt.clone();
+        st.wait = WaitSlot::Lock {
+            lock,
+            acq_seq,
+            manager,
+            req_vt: req_vt.clone(),
+            grant: None,
+        };
+        if manager == self.me {
+            if let Some(a) = st.lock_mgr.on_request(
+                lock,
+                AcqReq { requester: self.me, acq_seq, vt: req_vt },
+            ) {
+                dispatch_lock_action(&mut st, a);
+            }
+        } else {
+            st.send(manager, Payload::LockAcq { lock, acq_seq, vt: req_vt });
+        }
+        let t0 = Instant::now();
+        let g = wait_until(&shared, &mut st, |st| {
+            if let WaitSlot::Lock { grant, .. } = &mut st.wait {
+                grant.take()
+            } else {
+                None
+            }
+        });
+        st.wait = WaitSlot::None;
+        self.breakdown.lock_wait += t0.elapsed();
+        self.apply_grant(&mut st, g);
+    }
+
+    fn apply_grant(&mut self, st: &mut MutexGuard<'_, NodeState>, g: GrantData) {
+        let (p, l) = end_interval(st);
+        self.breakdown.protocol += p;
+        self.breakdown.logging += l;
+        let pre = st.vt.clone();
+        st.vt.join(&g.vt);
+        for wn in &g.wns {
+            if pre.covers_interval(wn.interval) {
+                continue;
+            }
+            st.wn_table.insert(wn.clone());
+            for &pg in &wn.pages {
+                st.pt.invalidate(pg, wn.interval.proc, wn.interval.seq);
+            }
+        }
+        let t_after = st.vt.clone();
+        if let Some(ft) = st.ft.as_mut() {
+            ft.logs.log_acq(
+                g.granter,
+                RelEntry {
+                    acq_seq: g.acq_seq,
+                    lock: g.lock,
+                    gen: g.gen,
+                    req_vt: pre,
+                    t_after,
+                },
+            );
+        }
+        st.tenure.insert(g.lock, (g.acq_seq, false));
+        st.held.insert(g.lock);
+    }
+
+    fn try_replay_acquire(&mut self, st: &mut MutexGuard<'_, NodeState>, lock: LockId) -> bool {
+        let acq_seq = st.acq_seq_next;
+        let replay = st.replay.as_ref().unwrap();
+        match replay.rel.get(&acq_seq).cloned() {
+            Some((_, entry)) => {
+                assert_eq!(
+                    entry.lock, lock,
+                    "replay acquire lock mismatch at acq_seq {acq_seq}"
+                );
+                st.acq_seq_next += 1;
+                let (p, l) = end_interval(st);
+                self.breakdown.protocol += p;
+                self.breakdown.logging += l;
+                let pre = st.vt.clone();
+                st.vt.join(&entry.t_after);
+                self.apply_replay_invalidations(st, &pre);
+                st.tenure.insert(lock, (acq_seq, false));
+                st.held.insert(lock);
+                apply_pending_home(st);
+                true
+            }
+            None => {
+                // No peer logged a grant for this acquisition. Either the
+                // acquire never completed (the crash point) or it was a
+                // *self-grant* — we were the chain tail and granted
+                // ourselves, and the grant record died with us. Evidence of
+                // any later logged event of ours proves the acquire
+                // completed, and since no peer granted it, it must have
+                // been a self-grant: replaying one is purely local (the
+                // grant joins our own release timestamp — a no-op — and
+                // carries no notices).
+                let later_rel = replay.rel.keys().any(|&s| s > acq_seq);
+                let later_bar = replay.bar_results.keys().any(|&e| e >= st.bar_episode);
+                if !(later_rel || later_bar) {
+                    return false;
+                }
+                st.acq_seq_next += 1;
+                let (p, l) = end_interval(st);
+                self.breakdown.protocol += p;
+                self.breakdown.logging += l;
+                st.tenure.insert(lock, (acq_seq, false));
+                st.held.insert(lock);
+                if lock % st.n == self.me {
+                    // We also manage this lock: our self-grant proves we
+                    // were the chain tail, overriding whatever older
+                    // generation peers reported during the handshake.
+                    let me = self.me;
+                    st.lock_mgr.force_tail(lock, me, acq_seq);
+                }
+                apply_pending_home(st);
+                true
+            }
+        }
+    }
+
+    fn apply_replay_invalidations(
+        &mut self,
+        st: &mut MutexGuard<'_, NodeState>,
+        pre: &VectorClock,
+    ) {
+        let post = st.vt.clone();
+        for iv in pre.missing_from(&post) {
+            if let Some(pages) = st.wn_table.get(iv).map(|p| p.to_vec()) {
+                for pg in pages {
+                    st.pt.invalidate(pg, iv.proc, iv.seq);
+                }
+            }
+        }
+    }
+
+    /// Release a lock (flushes the interval's diffs to their homes).
+    pub fn release(&mut self, lock: LockId) {
+        let shared = Arc::clone(&self.shared);
+        let mut st = begin_op(&shared);
+        assert!(st.held.contains(&lock), "node {} releasing unheld lock {lock}", self.me);
+        let (p, l) = end_interval(&mut st);
+        self.breakdown.protocol += p;
+        self.breakdown.logging += l;
+        let vt = st.vt.clone();
+        st.last_release_vt.insert(lock, vt);
+        st.held.remove(&lock);
+        if let Some(t) = st.tenure.get_mut(&lock) {
+            t.1 = true;
+        }
+        if st.replay.is_some() {
+            apply_pending_home(&mut st);
+            return;
+        }
+        // Serve only the queued forwards chaining behind tenures we have now
+        // released; one chaining behind a *future* tenure of ours (our next
+        // in-flight acquisition) stays queued until that tenure's release.
+        let released_acq = st.tenure.get(&lock).map(|&(a, _)| a).unwrap_or(u64::MAX);
+        if let Some(mut q) = st.pending_grants.remove(&lock) {
+            let (now, later): (Vec<_>, Vec<_>) =
+                q.drain(..).partition(|pg| pg.pred_acq <= released_acq);
+            if !later.is_empty() {
+                st.pending_grants.insert(lock, later);
+            }
+            for pg in now {
+                grant_now(&mut st, lock, pg.requester, pg.acq_seq, pg.gen, pg.req_vt);
+            }
+        }
+        let fp = st.shared_bytes;
+        if let Some(ft) = st.ft.as_mut() {
+            ft.policy_check_sync(fp);
+        }
+    }
+
+    /// Global barrier.
+    pub fn barrier(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        let mut st = begin_op(&shared);
+        if st.replay.is_some() {
+            if self.try_replay_barrier(&mut st) {
+                return;
+            }
+            recovery::go_live(&mut st);
+        }
+        let (p, l) = end_interval(&mut st);
+        self.breakdown.protocol += p;
+        self.breakdown.logging += l;
+        let episode = st.bar_episode;
+        let arrive_vt = st.vt.clone();
+        let own_wns = std::mem::take(&mut st.wn_since_barrier);
+        let me = self.me;
+        if let Some(ft) = st.ft.as_mut() {
+            ft.last_bar_arrive_seq = arrive_vt.get(me);
+        }
+        st.wait = WaitSlot::Barrier {
+            episode,
+            arrive_vt: arrive_vt.clone(),
+            own_wns: own_wns.clone(),
+            release: None,
+        };
+        if me == 0 {
+            barrier_manager_arrive(
+                &mut st,
+                Arrival { proc: 0, episode, vt: arrive_vt.clone(), own_wns },
+            );
+        } else {
+            st.send(0, Payload::BarrierArrive { episode, vt: arrive_vt.clone(), own_wns });
+        }
+        let t0 = Instant::now();
+        let rel: ReleaseData = wait_until(&shared, &mut st, |st| {
+            if let WaitSlot::Barrier { release, .. } = &mut st.wait {
+                release.take()
+            } else {
+                None
+            }
+        });
+        st.wait = WaitSlot::None;
+        self.breakdown.barrier_wait += t0.elapsed();
+
+        let pre = st.vt.clone();
+        st.vt.join(&rel.vt);
+        for wn in &rel.wns {
+            if pre.covers_interval(wn.interval) {
+                continue;
+            }
+            st.wn_table.insert(wn.clone());
+            for &pg in &wn.pages {
+                st.pt.invalidate(pg, wn.interval.proc, wn.interval.seq);
+            }
+        }
+        let result_vt = st.vt.clone();
+        if let Some(ft) = st.ft.as_mut() {
+            ft.logs.log_bar(BarEntry { episode, arrive_vt, result_vt });
+        }
+        let crossed = st.bar_episode;
+        st.bar_episode += 1;
+        let fp = st.shared_bytes;
+        if let Some(ft) = st.ft.as_mut() {
+            ft.policy_check_sync(fp);
+            ft.policy_check_barrier(crossed);
+        }
+    }
+
+    fn try_replay_barrier(&mut self, st: &mut MutexGuard<'_, NodeState>) -> bool {
+        let episode = st.bar_episode;
+        let Some(result) = st.replay.as_ref().unwrap().bar_results.get(&episode).cloned() else {
+            return false;
+        };
+        let (p, l) = end_interval(st);
+        self.breakdown.protocol += p;
+        self.breakdown.logging += l;
+        let arrive_vt = st.vt.clone();
+        let me = self.me;
+        if let Some(ft) = st.ft.as_mut() {
+            ft.last_bar_arrive_seq = arrive_vt.get(me);
+        }
+        st.wn_since_barrier.clear();
+        let pre = st.vt.clone();
+        st.vt.join(&result);
+        self.apply_replay_invalidations(st, &pre);
+        let result_vt = st.vt.clone();
+        if let Some(ft) = st.ft.as_mut() {
+            ft.logs.log_bar(BarEntry { episode, arrive_vt, result_vt });
+        }
+        st.bar_episode += 1;
+        apply_pending_home(st);
+        true
+    }
+
+    // ---- checkpoint safe points ------------------------------------------------
+
+    /// Request a checkpoint at the next safe point (for
+    /// [`crate::CkptPolicy::Manual`] and application-directed checkpoints —
+    /// the memory-exclusion style optimization the paper discusses).
+    pub fn request_checkpoint(&mut self) {
+        let mut st = self.shared.state.lock();
+        if let Some(ft) = st.ft.as_mut() {
+            ft.ckpt_due = true;
+        }
+    }
+
+    /// One-time initialization: runs `f` followed by a barrier, skipped
+    /// entirely when resuming from a checkpoint (the restored state already
+    /// contains the initialization's effects, and re-crossing its barrier
+    /// would desynchronize replay). Use this for everything an application
+    /// does before its [`Process::run_steps`] loop.
+    pub fn init_phase(&mut self, f: impl FnOnce(&mut Process)) {
+        if self.resuming() {
+            return;
+        }
+        f(self);
+        self.barrier();
+    }
+
+    /// Step-structured execution with checkpoint safe points.
+    ///
+    /// Runs `body(self, state, step)` for `step in 0..total`. At each step
+    /// boundary the runtime may take an independent checkpoint capturing
+    /// `state`; after a crash, execution resumes from the checkpointed step
+    /// with `state` restored, replaying the DSM operations in between from
+    /// the peers' logs.
+    pub fn run_steps<S: AppState>(
+        &mut self,
+        state: &mut S,
+        total: u64,
+        mut body: impl FnMut(&mut Process, &mut S, u64),
+    ) {
+        let start = if self.recovering {
+            if let Some(bytes) = self.restored_state.take() {
+                let mut r = ByteReader::new(&bytes);
+                *state = S::decode(&mut r);
+            }
+            self.restored_step
+        } else {
+            0
+        };
+        for step in start..total {
+            self.safe_point(step, state);
+            body(self, state, step);
+        }
+    }
+
+    fn safe_point<S: AppState>(&mut self, step: u64, state: &S) {
+        let mut st = self.shared.state.lock();
+        if st.replay.is_some() {
+            return; // no checkpoints while replaying
+        }
+        let due = match st.ft.as_mut() {
+            Some(ft) => ft.ckpt_due_at_step(step),
+            None => false,
+        };
+        if !due {
+            return;
+        }
+        let mut w = ByteWriter::new();
+        state.encode(&mut w);
+        let (logging, disk) = crate::ft::take_checkpoint(&mut st, step, w.into_bytes());
+        self.breakdown.logging += logging;
+        self.breakdown.disk_write += disk;
+    }
+
+    // ---- lifecycle ----------------------------------------------------------
+
+    /// Flush any unsynchronized writes and fold this incarnation's
+    /// breakdown into the node report.
+    pub(crate) fn finish(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        let mut st = shared.state.lock();
+        if st.replay.is_some() {
+            // The application completed entirely under replay (it had
+            // finished before the crash): transition to live so peers can
+            // be served.
+            recovery::go_live(&mut st);
+        }
+        let (p, l) = end_interval(&mut st);
+        self.breakdown.protocol += p;
+        self.breakdown.logging += l;
+        self.flush_stats(&mut st);
+    }
+
+    /// Fold timing into the node report without finishing (crash path).
+    pub(crate) fn flush_stats(&mut self, st: &mut NodeState) {
+        self.breakdown.total = self.started.elapsed();
+        st.breakdown_acc = st.breakdown_acc.merged(&self.breakdown);
+        self.breakdown = Breakdown::default();
+        self.started = Instant::now();
+    }
+
+    /// Crash path: record partial timing.
+    pub(crate) fn abandon(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        let mut st = shared.state.lock();
+        self.flush_stats(&mut st);
+    }
+}

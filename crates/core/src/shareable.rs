@@ -1,0 +1,90 @@
+//! Typed access to shared memory.
+//!
+//! A [`Shareable`] value has a fixed-size little-endian byte representation
+//! that the DSM reads and writes through the page layer. Primitives and
+//! fixed-size arrays of primitives are provided; applications implement it
+//! for their own plain-data structs.
+
+/// A fixed-size, plain-data value storable in shared memory.
+pub trait Shareable: Copy {
+    /// Encoded size in bytes.
+    const BYTES: usize;
+
+    /// Encode into `dst` (exactly `Self::BYTES` long).
+    fn write_to(&self, dst: &mut [u8]);
+
+    /// Decode from `src` (exactly `Self::BYTES` long).
+    fn read_from(src: &[u8]) -> Self;
+}
+
+macro_rules! impl_shareable_primitive {
+    ($($t:ty),*) => {$(
+        impl Shareable for $t {
+            const BYTES: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn write_to(&self, dst: &mut [u8]) {
+                dst.copy_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read_from(src: &[u8]) -> Self {
+                <$t>::from_le_bytes(src.try_into().unwrap())
+            }
+        }
+    )*};
+}
+
+impl_shareable_primitive!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+impl Shareable for bool {
+    const BYTES: usize = 1;
+    #[inline]
+    fn write_to(&self, dst: &mut [u8]) {
+        dst[0] = *self as u8;
+    }
+    #[inline]
+    fn read_from(src: &[u8]) -> Self {
+        src[0] != 0
+    }
+}
+
+impl<T: Shareable, const N: usize> Shareable for [T; N] {
+    const BYTES: usize = T::BYTES * N;
+    #[inline]
+    fn write_to(&self, dst: &mut [u8]) {
+        for (i, v) in self.iter().enumerate() {
+            v.write_to(&mut dst[i * T::BYTES..(i + 1) * T::BYTES]);
+        }
+    }
+    #[inline]
+    fn read_from(src: &[u8]) -> Self {
+        std::array::from_fn(|i| T::read_from(&src[i * T::BYTES..(i + 1) * T::BYTES]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Shareable + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = vec![0u8; T::BYTES];
+        v.write_to(&mut buf);
+        assert_eq!(T::read_from(&buf), v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(42u8);
+        roundtrip(-7i32);
+        roundtrip(u64::MAX);
+        roundtrip(std::f64::consts::E);
+        roundtrip(true);
+        roundtrip(false);
+    }
+
+    #[test]
+    fn arrays_roundtrip() {
+        roundtrip([1.5f64, -2.25, 0.0]);
+        roundtrip([[1u32, 2], [3, 4]]);
+        assert_eq!(<[f64; 3]>::BYTES, 24);
+    }
+}

@@ -1,0 +1,173 @@
+//! Execution statistics.
+//!
+//! Each node's application thread accumulates a wall-clock [`Breakdown`]
+//! around every DSM operation (Figure 3 of the paper), and the
+//! fault-tolerance layer tracks log/checkpoint byte counters (Tables 3–4,
+//! Figure 4). The harness aggregates per-node reports into the paper's
+//! tables.
+
+use std::time::Duration;
+
+use dsm_net::stats::TrafficSnapshot;
+use dsm_storage::StoreStats;
+
+use crate::ft::logs::LogCounters;
+
+/// Wall-clock execution-time breakdown of one node's application thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Breakdown {
+    /// Total application wall time.
+    pub total: Duration,
+    /// Waiting for page fetches from homes.
+    pub page_wait: Duration,
+    /// Waiting for lock grants.
+    pub lock_wait: Duration,
+    /// Waiting at barriers.
+    pub barrier_wait: Duration,
+    /// Protocol work on the application thread (diff creation, write-notice
+    /// application, message assembly).
+    pub protocol: Duration,
+    /// Fault-tolerance logging and trimming work.
+    pub logging: Duration,
+    /// Modeled stable-storage write time.
+    pub disk_write: Duration,
+}
+
+impl Breakdown {
+    /// Computation time: whatever the overheads don't account for.
+    pub fn compute(&self) -> Duration {
+        self.total
+            .saturating_sub(self.page_wait)
+            .saturating_sub(self.lock_wait)
+            .saturating_sub(self.barrier_wait)
+            .saturating_sub(self.protocol)
+            .saturating_sub(self.logging)
+            .saturating_sub(self.disk_write)
+    }
+
+    /// Elementwise sum of two breakdowns.
+    pub fn merged(&self, o: &Breakdown) -> Breakdown {
+        Breakdown {
+            total: self.total + o.total,
+            page_wait: self.page_wait + o.page_wait,
+            lock_wait: self.lock_wait + o.lock_wait,
+            barrier_wait: self.barrier_wait + o.barrier_wait,
+            protocol: self.protocol + o.protocol,
+            logging: self.logging + o.logging,
+            disk_write: self.disk_write + o.disk_write,
+        }
+    }
+}
+
+/// Fault-tolerance statistics of one node.
+#[derive(Debug, Clone, Default)]
+pub struct FtReport {
+    /// Checkpoints taken.
+    pub ckpts_taken: u64,
+    /// Volatile-log byte counters (created / discarded by trimming).
+    pub log_counters: LogCounters,
+    /// Cumulative bytes of volatile logs saved to stable storage.
+    pub log_bytes_saved: u64,
+    /// Largest observed stable-log residency (Table 4 "max log disk").
+    pub max_stable_log_bytes: u64,
+    /// Largest observed checkpoint-window size (Table 4 `Wmax`).
+    pub max_ckpt_window: usize,
+    /// `(checkpoint number, stable-log bytes after that checkpoint)` —
+    /// Figure 4's curve.
+    pub stable_log_curve: Vec<(u64, u64)>,
+    /// Stable-storage statistics (disk traffic, modeled write time).
+    pub store: StoreStats,
+    /// Number of recoveries this node performed.
+    pub recoveries: u64,
+    /// Total wall time spent in recovery (checkpoint restore + log
+    /// collection + replay, up to the transition back to live execution).
+    pub recovery_time: std::time::Duration,
+}
+
+/// Everything measured on one node.
+#[derive(Debug, Clone, Default)]
+pub struct NodeReport {
+    /// Application-thread time breakdown.
+    pub breakdown: Breakdown,
+    /// Network traffic sent by this node.
+    pub traffic: TrafficSnapshot,
+    /// Fault-tolerance statistics (zeroed when FT is off).
+    pub ft: FtReport,
+    /// DSM operations performed.
+    pub ops: u64,
+}
+
+/// The result of a cluster run.
+#[derive(Debug)]
+pub struct RunReport<R> {
+    /// Per-node application results (in node order).
+    pub results: Vec<R>,
+    /// Per-node statistics.
+    pub nodes: Vec<NodeReport>,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Bytes of shared memory allocated.
+    pub shared_bytes: u64,
+    /// FNV-1a hash of the final shared memory contents (read from the
+    /// authoritative home copies). Crash-free and crash+recovery runs of a
+    /// deterministic application must produce the same hash.
+    pub shared_hash: u64,
+}
+
+impl<R> RunReport<R> {
+    /// Sum of all nodes' traffic.
+    pub fn total_traffic(&self) -> TrafficSnapshot {
+        self.nodes
+            .iter()
+            .map(|n| n.traffic)
+            .fold(TrafficSnapshot::default(), |a, b| a + b)
+    }
+
+    /// Breakdown averaged... summed across nodes (the paper normalizes, so
+    /// sums and averages are interchangeable for ratios).
+    pub fn total_breakdown(&self) -> Breakdown {
+        self.nodes
+            .iter()
+            .map(|n| n.breakdown)
+            .fold(Breakdown::default(), |a, b| a.merged(&b))
+    }
+
+    /// Total checkpoints across the cluster.
+    pub fn total_ckpts(&self) -> u64 {
+        self.nodes.iter().map(|n| n.ft.ckpts_taken).sum()
+    }
+
+    /// Max checkpoint window across the cluster (Table 4 `Wmax`).
+    pub fn max_ckpt_window(&self) -> usize {
+        self.nodes.iter().map(|n| n.ft.max_ckpt_window).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_is_residual() {
+        let b = Breakdown {
+            total: Duration::from_secs(10),
+            page_wait: Duration::from_secs(1),
+            lock_wait: Duration::from_secs(2),
+            barrier_wait: Duration::from_secs(3),
+            protocol: Duration::from_millis(500),
+            logging: Duration::from_millis(250),
+            disk_write: Duration::from_millis(250),
+        };
+        assert_eq!(b.compute(), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn compute_saturates_rather_than_panics() {
+        let b = Breakdown {
+            total: Duration::from_secs(1),
+            page_wait: Duration::from_secs(5),
+            ..Default::default()
+        };
+        assert_eq!(b.compute(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,110 @@
+//! Codec helpers for protocol and log types.
+//!
+//! These define the canonical encoded layout of the shared types; the wire
+//! sizes reported by messages and log entries match these encodings.
+
+use dsm_page::{Diff, DiffRun, Interval, PageId, VectorClock};
+use dsm_storage::{ByteReader, ByteWriter, CodecError};
+use hlrc::WriteNotice;
+
+/// Encode a vector clock.
+pub fn put_vt(w: &mut ByteWriter, vt: &VectorClock) {
+    w.put_u32_slice(vt.as_slice());
+}
+
+/// Decode a vector clock.
+pub fn get_vt(r: &mut ByteReader) -> Result<VectorClock, CodecError> {
+    Ok(VectorClock::from_vec(r.get_u32_vec()?))
+}
+
+/// Encode a page-id list.
+pub fn put_pages(w: &mut ByteWriter, pages: &[PageId]) {
+    w.put_u64(pages.len() as u64);
+    for p in pages {
+        w.put_u32(p.0);
+    }
+}
+
+/// Decode a page-id list.
+pub fn get_pages(r: &mut ByteReader) -> Result<Vec<PageId>, CodecError> {
+    Ok(r.get_u32_vec()?.into_iter().map(PageId).collect())
+}
+
+/// Encode a diff.
+pub fn put_diff(w: &mut ByteWriter, d: &Diff) {
+    w.put_u32(d.page.0);
+    w.put_u32(d.interval.proc as u32);
+    w.put_u32(d.interval.seq);
+    w.put_u64(d.runs.len() as u64);
+    for run in &d.runs {
+        w.put_u32(run.offset);
+        w.put_bytes(&run.bytes);
+    }
+}
+
+/// Decode a diff.
+pub fn get_diff(r: &mut ByteReader) -> Result<Diff, CodecError> {
+    let page = PageId(r.get_u32()?);
+    let proc_ = r.get_u32()? as usize;
+    let seq = r.get_u32()?;
+    let nruns = r.get_u64()? as usize;
+    let mut runs = Vec::with_capacity(nruns);
+    for _ in 0..nruns {
+        let offset = r.get_u32()?;
+        let bytes = r.get_bytes()?.to_vec();
+        runs.push(DiffRun { offset, bytes });
+    }
+    Ok(Diff { page, interval: Interval { proc: proc_, seq }, runs })
+}
+
+/// Encode a write notice.
+pub fn put_wn(w: &mut ByteWriter, wn: &WriteNotice) {
+    w.put_u32(wn.interval.proc as u32);
+    w.put_u32(wn.interval.seq);
+    put_pages(w, &wn.pages);
+}
+
+/// Decode a write notice.
+pub fn get_wn(r: &mut ByteReader) -> Result<WriteNotice, CodecError> {
+    let proc_ = r.get_u32()? as usize;
+    let seq = r.get_u32()?;
+    let pages = get_pages(r)?;
+    Ok(WriteNotice { interval: Interval { proc: proc_, seq }, pages })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_page::Page;
+
+    #[test]
+    fn diff_roundtrip() {
+        let twin = Page::zeroed(64);
+        let mut cur = twin.clone();
+        cur.write(8, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        cur.write(48, &[9; 8]);
+        let d = Diff::create(PageId(3), Interval { proc: 2, seq: 7 }, &twin, &cur).unwrap();
+        let mut w = ByteWriter::new();
+        put_diff(&mut w, &d);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(get_diff(&mut r).unwrap(), d);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn wn_and_vt_roundtrip() {
+        let wn = WriteNotice {
+            interval: Interval { proc: 1, seq: 9 },
+            pages: vec![PageId(0), PageId(4)],
+        };
+        let vt = VectorClock::from_vec(vec![3, 1, 4]);
+        let mut w = ByteWriter::new();
+        put_wn(&mut w, &wn);
+        put_vt(&mut w, &vt);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(get_wn(&mut r).unwrap(), wn);
+        assert_eq!(get_vt(&mut r).unwrap(), vt);
+    }
+}

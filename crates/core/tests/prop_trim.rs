@@ -1,0 +1,163 @@
+//! Property tests for the log-trimming rules (Rules 1–3).
+//!
+//! The rules are exercised against an independent oracle: an entry may be
+//! discarded only if *no peer's restart point can need it*. Restart points
+//! are the peers' checkpoint timestamps; a peer `j` restarting replays its
+//! execution from `T^j_ckp`, needing
+//!   - our write notices for our intervals beyond `T^j_ckp[me]` (Rule 1),
+//!   - our grants to `j` with `t_after[j] > T^j_ckp[j]` (Rule 2),
+//!   - our diffs beyond the home's retained starting copy (Rule 3).
+
+use dsm_page::{Diff, Interval, Page, PageId, VectorClock};
+use ftdsm::ft::logs::{DiffLogEntry, RelEntry, VolatileLogs};
+use proptest::prelude::*;
+
+const N: usize = 4;
+const ME: usize = 0;
+
+fn vt(raw: &[u32]) -> VectorClock {
+    VectorClock::from_vec(raw.to_vec())
+}
+
+fn diff_entry(seq: u32, page: u32, t: Vec<u32>) -> DiffLogEntry {
+    let twin = Page::zeroed(64);
+    let mut cur = twin.clone();
+    cur.write(0, &[seq as u8; 8]);
+    DiffLogEntry {
+        diff: Diff::create(PageId(page), Interval { proc: ME, seq }, &twin, &cur).unwrap(),
+        t: VectorClock::from_vec(t),
+        saved: false,
+    }
+}
+
+proptest! {
+    /// Rule 1 never discards a write notice some peer's restart still needs.
+    #[test]
+    fn rule1_is_safe_against_every_peer(
+        n_intervals in 1u32..40,
+        peer_ckps in proptest::collection::vec(0u32..40, N - 1),
+    ) {
+        let mut logs = VolatileLogs::new(ME, N);
+        for seq in 1..=n_intervals {
+            logs.log_interval(seq, vec![PageId(seq)], vec![]);
+        }
+        let bound = *peer_ckps.iter().min().unwrap();
+        logs.trim_rule1(bound);
+        // Oracle: peer j restarting from checkpoint with entry peer_ckps[j]
+        // for us needs our intervals with seq > that entry.
+        for &ckp in &peer_ckps {
+            for needed_seq in (ckp + 1)..=n_intervals {
+                prop_assert!(
+                    logs.wn.iter().any(|e| e.seq == needed_seq),
+                    "interval {needed_seq} needed by a peer with ckp {ckp} was trimmed (bound {bound})"
+                );
+            }
+        }
+    }
+
+    /// Rule 2 never discards a grant the acquirer's restart still needs,
+    /// and keeps the boundary entry (t_after == checkpoint timestamp).
+    #[test]
+    fn rule2_is_safe_for_the_acquirer(
+        grants in proptest::collection::vec((1u32..30, 0usize..8), 1..25),
+        ckp_entry in 0u32..30,
+    ) {
+        let mut logs = VolatileLogs::new(ME, N);
+        for (i, (t_after_j, lock)) in grants.iter().enumerate() {
+            logs.log_rel(1, RelEntry {
+                acq_seq: i as u64,
+                lock: *lock,
+                gen: i as u64,
+                req_vt: vt(&[0; N]),
+                t_after: {
+                    let mut v = vt(&[0; N]);
+                    v.set(1, *t_after_j);
+                    v
+                },
+            });
+        }
+        let mut tckp = vec![vt(&[0; N]); N];
+        tckp[1].set(1, ckp_entry);
+        logs.trim_rule2(&tckp, &vt(&[0; N]));
+        // Oracle: the acquirer restarting from ckp_entry replays every
+        // acquire whose t_after[1] >= ckp_entry (its acquisition counter at
+        // the checkpoint corresponds to that logical time; the boundary may
+        // be needed when no writes separated the checkpoint from the next
+        // acquire).
+        for (i, (t_after_j, _)) in grants.iter().enumerate() {
+            if *t_after_j >= ckp_entry {
+                prop_assert!(
+                    logs.rel[1].iter().any(|e| e.acq_seq == i as u64),
+                    "grant {i} (t_after[1]={t_after_j}) needed beyond ckp {ckp_entry} was trimmed"
+                );
+            }
+        }
+    }
+
+    /// Rule 3 (LLT) discards exactly the diffs the starting copy already
+    /// contains, and only for pages with a known `p0.v`.
+    #[test]
+    fn rule3_trims_exactly_below_p0(
+        diffs in proptest::collection::vec((1u32..20, 0u32..4), 1..30),
+        p0 in proptest::collection::vec(0u32..20, 4),
+    ) {
+        let mut logs = VolatileLogs::new(ME, N);
+        let mut seqs = std::collections::HashMap::new();
+        for (_, page) in diffs.iter() {
+            // Make per-page seqs unique and increasing.
+            let seq = *seqs.entry(*page).and_modify(|s| *s += 1).or_insert(1);
+            let mut t = vec![0u32; N];
+            t[ME] = seq;
+            logs.log_interval(seq, vec![PageId(*page)], vec![diff_entry(seq, *page, t)]);
+        }
+        // Only pages 0 and 1 have known starting copies.
+        let mut known = std::collections::HashMap::new();
+        known.insert(PageId(0), p0[0]);
+        known.insert(PageId(1), p0[1]);
+        logs.trim_rule3(&known);
+        for (page, log) in &logs.diffs {
+            for e in log {
+                if let Some(bound) = known.get(page) {
+                    prop_assert!(e.t.get(ME) > *bound, "kept a diff the starting copy covers");
+                }
+            }
+        }
+        // Unknown pages keep everything.
+        let kept_unknown: usize =
+            logs.diffs.iter().filter(|(p, _)| p.0 >= 2).map(|(_, l)| l.len()).sum();
+        let created_unknown = diffs.iter().filter(|(_, p)| *p >= 2).count();
+        prop_assert_eq!(kept_unknown, created_unknown);
+    }
+
+    /// Counters stay consistent through arbitrary interleavings of appends
+    /// and trims: created >= discarded, and the live volatile size never
+    /// exceeds created - discarded.
+    #[test]
+    fn log_counters_are_consistent(
+        ops in proptest::collection::vec((0u32..3, 1u32..30), 1..60),
+    ) {
+        let mut logs = VolatileLogs::new(ME, N);
+        let mut seq = 0u32;
+        for (op, arg) in ops {
+            match op {
+                0 => {
+                    seq += 1;
+                    let mut t = vec![0u32; N];
+                    t[ME] = seq;
+                    logs.log_interval(seq, vec![PageId(arg % 8)], vec![diff_entry(seq, arg % 8, t)]);
+                }
+                1 => logs.trim_rule1(arg),
+                _ => {
+                    let mut known = std::collections::HashMap::new();
+                    for pg in 0..8 {
+                        known.insert(PageId(pg), arg);
+                    }
+                    logs.trim_rule3(&known);
+                }
+            }
+            let c = logs.counters();
+            prop_assert!(c.created_bytes >= c.discarded_bytes);
+            prop_assert!(logs.volatile_bytes() <= c.created_bytes - c.discarded_bytes);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Integration tests for the base HLRC runtime (no fault tolerance).
+
+use ftdsm::{run, ClusterConfig, HomeAlloc, Process};
+
+fn small(n: usize) -> ClusterConfig {
+    ClusterConfig::base(n).with_page_size(256)
+}
+
+#[test]
+fn lock_protected_counter_is_sequentially_consistent() {
+    let report = run(small(4), &[], |p| {
+        let counter = p.alloc_vec::<u64>(1, HomeAlloc::Node(0));
+        for _ in 0..25 {
+            p.acquire(7);
+            let v = counter.get(p, 0);
+            counter.set(p, 0, v + 1);
+            p.release(7);
+        }
+        p.barrier();
+        counter.get(p, 0)
+    });
+    assert_eq!(report.results, vec![100, 100, 100, 100]);
+}
+
+#[test]
+fn barrier_publishes_all_writes() {
+    let report = run(small(4), &[], |p| {
+        let n = p.nodes();
+        let data = p.alloc_vec::<u64>(n, HomeAlloc::Interleaved);
+        let me = p.me();
+        data.set(p, me, (me as u64 + 1) * 1000);
+        p.barrier();
+        (0..n).map(|i| data.get(p, i)).sum::<u64>()
+    });
+    assert_eq!(report.results, vec![10000; 4]);
+}
+
+#[test]
+fn multiple_writers_on_one_page_merge_at_home() {
+    // Each node writes a disjoint word of the same page (classic false
+    // sharing); HLRC's multi-writer diffs must merge all updates.
+    let report = run(small(4), &[], |p| {
+        let n = p.nodes();
+        let data = p.alloc_vec::<u64>(n, HomeAlloc::Node(1));
+        let me = p.me();
+        data.set(p, me, me as u64 + 1);
+        p.barrier();
+        (0..n).map(|i| data.get(p, i)).sum::<u64>()
+    });
+    assert_eq!(report.results, vec![1 + 2 + 3 + 4; 4]);
+}
+
+#[test]
+fn migratory_data_follows_lock_chain() {
+    // A value is passed around under one lock; each node adds its rank+1.
+    let report = run(small(3), &[], |p| {
+        let cell = p.alloc_vec::<u64>(1, HomeAlloc::Node(2));
+        for _round in 0..10 {
+            p.acquire(0);
+            let v = cell.get(p, 0);
+            cell.set(p, 0, v + p.me() as u64 + 1);
+            p.release(0);
+        }
+        p.barrier();
+        cell.get(p, 0)
+    });
+    // 10 rounds x (1 + 2 + 3)
+    assert_eq!(report.results, vec![60, 60, 60]);
+}
+
+#[test]
+fn producer_consumer_through_lock_pair() {
+    let report = run(small(2), &[], |p| {
+        let buf = p.alloc_vec::<u64>(64, HomeAlloc::Node(0));
+        let mut acc = 0u64;
+        for round in 0..8u64 {
+            if p.me() == 0 {
+                p.acquire(1);
+                for i in 0..64 {
+                    buf.set(p, i, round * 64 + i as u64);
+                }
+                p.release(1);
+            }
+            p.barrier();
+            if p.me() == 1 {
+                p.acquire(1);
+                for i in 0..64 {
+                    acc += buf.get(p, i);
+                }
+                p.release(1);
+            }
+            p.barrier();
+        }
+        acc
+    });
+    let expected: u64 = (0..8u64).map(|r| (0..64u64).map(|i| r * 64 + i).sum::<u64>()).sum();
+    assert_eq!(report.results[1], expected);
+}
+
+#[test]
+fn raw_byte_accesses_span_pages() {
+    let report = run(small(2), &[], |p| {
+        let addr = p.alloc(1024, HomeAlloc::Node(0));
+        if p.me() == 0 {
+            let data: Vec<u8> = (0..600).map(|i| (i % 251) as u8).collect();
+            // Start near the end of the first 256-byte page: spans 3 pages.
+            p.write_bytes(addr + 200, &data);
+        }
+        p.barrier();
+        let mut buf = vec![0u8; 600];
+        p.read_bytes(addr + 200, &mut buf);
+        buf.iter().map(|&b| b as u64).sum::<u64>()
+    });
+    let expected: u64 = (0..600).map(|i| (i % 251) as u64).sum();
+    assert_eq!(report.results, vec![expected, expected]);
+}
+
+#[test]
+fn traffic_and_breakdown_are_recorded() {
+    let report = run(small(3), &[], |p| {
+        let data = p.alloc_vec::<u64>(8, HomeAlloc::Node(0));
+        if p.me() == 0 {
+            for i in 0..8 {
+                data.set(p, i, i as u64);
+            }
+        }
+        p.barrier();
+        data.get(p, 7)
+    });
+    let t = report.total_traffic();
+    assert!(t.msgs_sent > 0);
+    assert!(t.base_bytes_sent > 0);
+    // No FT: zero piggyback traffic and zero checkpoints.
+    assert_eq!(t.ft_bytes_sent, 0);
+    assert_eq!(report.total_ckpts(), 0);
+    assert!(report.nodes.iter().all(|n| n.ops > 0));
+    assert!(report.shared_bytes > 0);
+}
+
+#[test]
+fn shared_hash_is_deterministic_for_deterministic_apps() {
+    let app = |p: &mut Process| {
+        let data = p.alloc_vec::<u64>(32, HomeAlloc::Interleaved);
+        let me = p.me();
+        for i in 0..32 {
+            if i % p.nodes() == me {
+                data.set(p, i, (i * i) as u64);
+            }
+        }
+        p.barrier();
+        data.get(p, 31)
+    };
+    let r1 = run(small(3), &[], app);
+    let r2 = run(small(3), &[], app);
+    assert_eq!(r1.shared_hash, r2.shared_hash);
+}
+
+#[test]
+fn typed_array_elements_cross_page_boundaries() {
+    // [f64; 3] is 24 bytes: elements straddle 256-byte page boundaries.
+    let report = run(small(2), &[], |p| {
+        let v = p.alloc_vec::<[f64; 3]>(40, HomeAlloc::Node(0));
+        if p.me() == 1 {
+            for i in 0..40 {
+                v.set(p, i, [i as f64, 2.0 * i as f64, -(i as f64)]);
+            }
+        }
+        p.barrier();
+        let mut acc = 0.0;
+        for i in 0..40 {
+            let x = v.get(p, i);
+            acc += x[0] + x[1] + x[2];
+        }
+        acc
+    });
+    let expected: f64 = (0..40).map(|i| 2.0 * i as f64).sum();
+    assert!((report.results[0] - expected).abs() < 1e-9);
+}

@@ -1,0 +1,291 @@
+//! Endpoints and the fabric connecting them.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::RwLock;
+
+use crate::stats::FabricStats;
+
+/// Index of a node in the cluster, `0..n`.
+pub type NodeId = usize;
+
+/// Liveness of a node as seen by the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// Normal operation (includes a node that is executing its recovery
+    /// procedure — it can already exchange messages again).
+    Up,
+    /// Fail-stopped: input discarded, sends to it dropped.
+    Crashed,
+}
+
+/// Messages must report their encoded size so traffic can be accounted
+/// without actually serializing on the hot path.
+pub trait WireSized {
+    /// Encoded size of the base-protocol part of the message, in bytes.
+    fn base_wire_size(&self) -> usize;
+    /// Encoded size of the fault-tolerance control (piggyback) part.
+    fn ft_wire_size(&self) -> usize {
+        0
+    }
+}
+
+/// What an endpoint receives: either a peer message or a fabric control
+/// event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<M> {
+    /// A message from `from`.
+    Msg {
+        /// The sender.
+        from: NodeId,
+        /// The payload.
+        msg: M,
+    },
+    /// Node `node` restarted after a crash; blocked requesters should
+    /// retransmit any request they still owe an answer for.
+    NodeUp {
+        /// The restarted node.
+        node: NodeId,
+    },
+}
+
+struct FabricShared<M> {
+    status: RwLock<Vec<NodeStatus>>,
+    senders: Vec<Sender<Event<M>>>,
+    stats: FabricStats,
+}
+
+/// Builder/handle for a simulated cluster interconnect of `n` nodes.
+pub struct Fabric<M> {
+    shared: Arc<FabricShared<M>>,
+    n: usize,
+}
+
+impl<M: Send + WireSized> Fabric<M> {
+    /// Create a fabric of `n` nodes; returns the fabric handle and one
+    /// endpoint per node.
+    pub fn new(n: usize) -> (Fabric<M>, Vec<Endpoint<M>>) {
+        assert!(n >= 1);
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(FabricShared {
+            status: RwLock::new(vec![NodeStatus::Up; n]),
+            senders,
+            stats: FabricStats::new(n),
+        });
+        let endpoints = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(id, rx)| Endpoint { id, n, rx, shared: Arc::clone(&shared) })
+            .collect();
+        (Fabric { shared, n }, endpoints)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the fabric has no nodes (never; for clippy).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> &FabricStats {
+        &self.shared.stats
+    }
+
+    /// Status of `node`.
+    pub fn status(&self, node: NodeId) -> NodeStatus {
+        self.shared.status.read()[node]
+    }
+
+    /// Fail-stop `node`: subsequent sends to it are dropped. The victim's
+    /// already-queued input is discarded by the node runtime calling
+    /// [`Endpoint::drain`] (the receiver is owned by the endpoint), modeling
+    /// the loss of in-flight messages to a failed process.
+    pub fn crash(&self, node: NodeId) {
+        let mut st = self.shared.status.write();
+        assert_eq!(st[node], NodeStatus::Up, "node {node} is already crashed");
+        st[node] = NodeStatus::Crashed;
+    }
+
+    /// Restart `node` after a crash and notify every *other* node with
+    /// [`Event::NodeUp`] so blocked requesters retransmit.
+    pub fn restart(&self, node: NodeId) {
+        {
+            let mut st = self.shared.status.write();
+            assert_eq!(st[node], NodeStatus::Crashed, "node {node} is not crashed");
+            st[node] = NodeStatus::Up;
+        }
+        for (peer, tx) in self.shared.senders.iter().enumerate() {
+            if peer != node {
+                let _ = tx.send(Event::NodeUp { node });
+            }
+        }
+    }
+}
+
+impl<M> Clone for Fabric<M> {
+    fn clone(&self) -> Self {
+        Fabric { shared: Arc::clone(&self.shared), n: self.n }
+    }
+}
+
+/// One node's attachment to the fabric.
+pub struct Endpoint<M> {
+    id: NodeId,
+    n: usize,
+    rx: Receiver<Event<M>>,
+    shared: Arc<FabricShared<M>>,
+}
+
+impl<M: Send + WireSized> Endpoint<M> {
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Cluster size.
+    pub fn cluster_size(&self) -> usize {
+        self.n
+    }
+
+    /// Send `msg` to `to`. Delivery is reliable and FIFO per sender-receiver
+    /// pair unless the destination is crashed, in which case the message is
+    /// dropped (and counted). Returns `true` when the message was delivered
+    /// to the destination queue.
+    pub fn send(&self, to: NodeId, msg: M) -> bool {
+        assert_ne!(to, self.id, "self-sends are a protocol bug");
+        let traffic = self.shared.stats.node(self.id);
+        if self.shared.status.read()[to] == NodeStatus::Crashed {
+            traffic.record_drop();
+            return false;
+        }
+        traffic.record_send(msg.base_wire_size(), msg.ft_wire_size());
+        // Unbounded channel: send only fails if the receiver was dropped,
+        // which only happens at cluster teardown.
+        self.shared.senders[to].send(Event::Msg { from: self.id, msg }).is_ok()
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Option<Event<M>> {
+        self.rx.recv().ok()
+    }
+
+    /// Receive with a timeout; `None` on timeout or disconnect.
+    pub fn recv_timeout(&self, d: Duration) -> Option<Event<M>> {
+        match self.rx.recv_timeout(d) {
+            Ok(ev) => Some(ev),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Event<M>> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Discard everything queued for this endpoint (used when simulating the
+    /// restart of a crashed node: whatever was queued before/during the
+    /// crash is lost). Returns the number of discarded events.
+    pub fn drain(&self) -> usize {
+        let mut n = 0;
+        while self.rx.try_recv().is_ok() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Current status of a peer.
+    pub fn peer_status(&self, node: NodeId) -> NodeStatus {
+        self.shared.status.read()[node]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct TestMsg(u32, usize, usize);
+    impl WireSized for TestMsg {
+        fn base_wire_size(&self) -> usize {
+            self.1
+        }
+        fn ft_wire_size(&self) -> usize {
+            self.2
+        }
+    }
+
+    #[test]
+    fn point_to_point_fifo_delivery() {
+        let (_fabric, eps) = Fabric::<TestMsg>::new(2);
+        eps[0].send(1, TestMsg(1, 10, 0));
+        eps[0].send(1, TestMsg(2, 10, 0));
+        assert_eq!(eps[1].recv(), Some(Event::Msg { from: 0, msg: TestMsg(1, 10, 0) }));
+        assert_eq!(eps[1].recv(), Some(Event::Msg { from: 0, msg: TestMsg(2, 10, 0) }));
+    }
+
+    #[test]
+    fn traffic_is_charged_to_sender() {
+        let (fabric, eps) = Fabric::<TestMsg>::new(3);
+        eps[0].send(1, TestMsg(0, 100, 8));
+        eps[0].send(2, TestMsg(0, 50, 0));
+        eps[1].send(0, TestMsg(0, 7, 0));
+        let s0 = fabric.stats().node(0).snapshot();
+        assert_eq!(s0.msgs_sent, 2);
+        assert_eq!(s0.base_bytes_sent, 150);
+        assert_eq!(s0.ft_bytes_sent, 8);
+        assert_eq!(fabric.stats().total().msgs_sent, 3);
+    }
+
+    #[test]
+    fn sends_to_crashed_node_are_dropped_and_counted() {
+        let (fabric, eps) = Fabric::<TestMsg>::new(2);
+        fabric.crash(1);
+        assert!(!eps[0].send(1, TestMsg(9, 10, 0)));
+        assert_eq!(fabric.stats().node(0).snapshot().msgs_dropped, 1);
+        assert!(eps[1].try_recv().is_none());
+    }
+
+    #[test]
+    fn restart_notifies_peers() {
+        let (fabric, eps) = Fabric::<TestMsg>::new(3);
+        fabric.crash(2);
+        fabric.restart(2);
+        assert_eq!(eps[0].recv(), Some(Event::NodeUp { node: 2 }));
+        assert_eq!(eps[1].recv(), Some(Event::NodeUp { node: 2 }));
+        // The restarted node itself gets no NodeUp.
+        assert!(eps[2].try_recv().is_none());
+        // And messaging works again.
+        assert!(eps[0].send(2, TestMsg(5, 1, 0)));
+        assert!(matches!(eps[2].recv(), Some(Event::Msg { from: 0, .. })));
+    }
+
+    #[test]
+    fn drain_discards_queued_input() {
+        let (fabric, eps) = Fabric::<TestMsg>::new(2);
+        eps[0].send(1, TestMsg(1, 1, 0));
+        eps[0].send(1, TestMsg(2, 1, 0));
+        fabric.crash(1);
+        assert_eq!(eps[1].drain(), 2);
+        assert!(eps[1].try_recv().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already crashed")]
+    fn double_crash_rejected() {
+        let (fabric, _eps) = Fabric::<TestMsg>::new(2);
+        fabric.crash(0);
+        fabric.crash(0);
+    }
+}

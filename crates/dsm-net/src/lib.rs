@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! Simulated cluster interconnect.
+//!
+//! The paper runs over Myrinet with VMMC user-level memory-mapped
+//! communication, which gives the DSM protocol reliable, ordered,
+//! point-to-point message delivery with very low overhead. This crate
+//! provides the same abstraction for a cluster simulated inside one process:
+//!
+//! * [`Fabric`] — builds `n` connected [`Endpoint`]s (one per node) with
+//!   reliable FIFO channels between every pair.
+//! * Fail-stop crash simulation: [`Fabric::crash`] marks a node down and
+//!   discards its queued input (in-flight messages to a failed process are
+//!   lost); sends to a crashed node are dropped and counted. On
+//!   [`Fabric::restart`] every peer receives a [`Event::NodeUp`]
+//!   notification so blocked requesters can retransmit (requests are
+//!   idempotent at the protocol layer).
+//! * Byte-accurate traffic accounting via the [`WireSized`] trait, split
+//!   into base-protocol bytes and fault-tolerance control (piggyback) bytes
+//!   — the measurements behind Table 2 of the paper.
+
+pub mod endpoint;
+pub mod stats;
+
+pub use endpoint::{Endpoint, Event, Fabric, NodeId, NodeStatus, WireSized};
+pub use stats::{FabricStats, NodeTraffic};

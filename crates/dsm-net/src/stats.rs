@@ -1,0 +1,131 @@
+//! Traffic accounting.
+//!
+//! Every send is charged to the *sending* node, split into base-protocol
+//! bytes and fault-tolerance control bytes (the lazily piggybacked
+//! checkpoint timestamps and page-version integers of the LLT/CGC scheme).
+//! Table 2 of the paper is the ratio of these two streams.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-node traffic counters. All counters are monotonically increasing.
+#[derive(Debug, Default)]
+pub struct NodeTraffic {
+    /// Messages sent.
+    pub msgs_sent: AtomicU64,
+    /// Base-protocol payload bytes sent.
+    pub base_bytes_sent: AtomicU64,
+    /// Fault-tolerance control (piggyback) bytes sent.
+    pub ft_bytes_sent: AtomicU64,
+    /// Messages dropped because the destination had crashed.
+    pub msgs_dropped: AtomicU64,
+}
+
+impl NodeTraffic {
+    pub(crate) fn record_send(&self, base: usize, ft: usize) {
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.base_bytes_sent.fetch_add(base as u64, Ordering::Relaxed);
+        self.ft_bytes_sent.fetch_add(ft as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_drop(&self) {
+        self.msgs_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the counters.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            base_bytes_sent: self.base_bytes_sent.load(Ordering::Relaxed),
+            ft_bytes_sent: self.ft_bytes_sent.load(Ordering::Relaxed),
+            msgs_dropped: self.msgs_dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one node's traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficSnapshot {
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Base-protocol payload bytes sent.
+    pub base_bytes_sent: u64,
+    /// Fault-tolerance control (piggyback) bytes sent.
+    pub ft_bytes_sent: u64,
+    /// Messages dropped because the destination had crashed.
+    pub msgs_dropped: u64,
+}
+
+impl TrafficSnapshot {
+    /// FT control overhead as a fraction of base traffic (Table 2's last
+    /// column). Returns 0 when no base traffic was sent.
+    pub fn ft_overhead_fraction(&self) -> f64 {
+        if self.base_bytes_sent == 0 {
+            0.0
+        } else {
+            self.ft_bytes_sent as f64 / self.base_bytes_sent as f64
+        }
+    }
+}
+
+impl std::ops::Add for TrafficSnapshot {
+    type Output = TrafficSnapshot;
+    fn add(self, o: TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            msgs_sent: self.msgs_sent + o.msgs_sent,
+            base_bytes_sent: self.base_bytes_sent + o.base_bytes_sent,
+            ft_bytes_sent: self.ft_bytes_sent + o.ft_bytes_sent,
+            msgs_dropped: self.msgs_dropped + o.msgs_dropped,
+        }
+    }
+}
+
+/// Cluster-wide traffic view (one [`NodeTraffic`] per node).
+#[derive(Debug)]
+pub struct FabricStats {
+    per_node: Vec<NodeTraffic>,
+}
+
+impl FabricStats {
+    pub(crate) fn new(n: usize) -> Self {
+        FabricStats { per_node: (0..n).map(|_| NodeTraffic::default()).collect() }
+    }
+
+    /// Counters for one node.
+    pub fn node(&self, id: usize) -> &NodeTraffic {
+        &self.per_node[id]
+    }
+
+    /// Sum of all nodes' counters.
+    pub fn total(&self) -> TrafficSnapshot {
+        self.per_node
+            .iter()
+            .map(|t| t.snapshot())
+            .fold(TrafficSnapshot::default(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_aggregate_across_nodes() {
+        let s = FabricStats::new(3);
+        s.node(0).record_send(100, 4);
+        s.node(2).record_send(50, 0);
+        s.node(2).record_drop();
+        let t = s.total();
+        assert_eq!(t.msgs_sent, 2);
+        assert_eq!(t.base_bytes_sent, 150);
+        assert_eq!(t.ft_bytes_sent, 4);
+        assert_eq!(t.msgs_dropped, 1);
+    }
+
+    #[test]
+    fn overhead_fraction_guards_zero() {
+        let t = TrafficSnapshot::default();
+        assert_eq!(t.ft_overhead_fraction(), 0.0);
+        let t = TrafficSnapshot { base_bytes_sent: 200, ft_bytes_sent: 1, ..Default::default() };
+        assert!((t.ft_overhead_fraction() - 0.005).abs() < 1e-12);
+    }
+}

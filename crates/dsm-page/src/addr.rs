@@ -1,0 +1,142 @@
+//! Global shared address arithmetic.
+//!
+//! The DSM exposes a single flat byte-addressable shared space. The
+//! coherence unit is a page of `page_size` bytes; `page_size` is a runtime
+//! cluster parameter (the paper used the 4 KB hardware page).
+
+/// Identifier of a shared page. Pages are numbered densely from zero in
+/// allocation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// The page id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A byte address in the global shared space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalAddr(pub u64);
+
+impl GlobalAddr {
+    /// Byte offset from the start of the shared space.
+    #[inline]
+    pub fn offset(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::ops::Add<u64> for GlobalAddr {
+    type Output = GlobalAddr;
+    #[inline]
+    fn add(self, rhs: u64) -> GlobalAddr {
+        GlobalAddr(self.0 + rhs)
+    }
+}
+
+/// Address layout: maps between byte addresses and (page, offset) pairs for a
+/// fixed page size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    page_size: usize,
+}
+
+impl Layout {
+    /// Create a layout. `page_size` must be a power of two and a multiple of
+    /// the 8-byte diff word.
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(page_size >= 64, "page size unreasonably small");
+        Layout { page_size }
+    }
+
+    /// The page size in bytes.
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Page containing `addr`.
+    #[inline]
+    pub fn page_of(&self, addr: GlobalAddr) -> PageId {
+        PageId((addr.0 / self.page_size as u64) as u32)
+    }
+
+    /// Byte offset of `addr` within its page.
+    #[inline]
+    pub fn offset_in_page(&self, addr: GlobalAddr) -> usize {
+        (addr.0 % self.page_size as u64) as usize
+    }
+
+    /// First address of `page`.
+    #[inline]
+    pub fn page_base(&self, page: PageId) -> GlobalAddr {
+        GlobalAddr(page.0 as u64 * self.page_size as u64)
+    }
+
+    /// Number of pages needed to hold `bytes` bytes.
+    #[inline]
+    pub fn pages_for(&self, bytes: u64) -> u32 {
+        bytes.div_ceil(self.page_size as u64) as u32
+    }
+
+    /// Iterate over the pages overlapped by the byte range `[addr, addr+len)`.
+    pub fn pages_in_range(&self, addr: GlobalAddr, len: u64) -> impl Iterator<Item = PageId> {
+        let first = (addr.0 / self.page_size as u64) as u32;
+        let last = if len == 0 {
+            first
+        } else {
+            ((addr.0 + len - 1) / self.page_size as u64) as u32
+        };
+        (first..=last).map(PageId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_arithmetic_roundtrips() {
+        let l = Layout::new(4096);
+        let a = GlobalAddr(4096 * 7 + 123);
+        assert_eq!(l.page_of(a), PageId(7));
+        assert_eq!(l.offset_in_page(a), 123);
+        assert_eq!(l.page_base(PageId(7)), GlobalAddr(4096 * 7));
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        let l = Layout::new(4096);
+        assert_eq!(l.pages_for(0), 0);
+        assert_eq!(l.pages_for(1), 1);
+        assert_eq!(l.pages_for(4096), 1);
+        assert_eq!(l.pages_for(4097), 2);
+    }
+
+    #[test]
+    fn range_iteration_covers_overlapped_pages() {
+        let l = Layout::new(256);
+        let pages: Vec<_> = l.pages_in_range(GlobalAddr(250), 20).collect();
+        assert_eq!(pages, vec![PageId(0), PageId(1)]);
+        let pages: Vec<_> = l.pages_in_range(GlobalAddr(256), 256).collect();
+        assert_eq!(pages, vec![PageId(1)]);
+        let pages: Vec<_> = l.pages_in_range(GlobalAddr(0), 0).collect();
+        assert_eq!(pages, vec![PageId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = Layout::new(1000);
+    }
+}

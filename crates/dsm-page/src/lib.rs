@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! Page, twin, diff and logical-clock machinery for a home-based lazy release
+//! consistency (HLRC) distributed shared memory.
+//!
+//! This crate is deliberately free of threads and I/O: everything here is a
+//! pure data structure, unit- and property-testable in isolation.
+//!
+//! * [`Page`] — a fixed-size byte buffer, the coherence unit.
+//! * [`Diff`] — a word-granularity difference between a twin (pre-write copy)
+//!   and the current page contents, as created by a writer at release time
+//!   and applied by the page's home node.
+//! * [`VectorClock`] — per-process vector timestamps over synchronization
+//!   intervals; also used as per-page version vectors (`p.v` in the paper).
+//! * [`addr`] — global shared address arithmetic.
+
+pub mod addr;
+pub mod diff;
+pub mod page;
+pub mod version;
+
+pub use addr::{GlobalAddr, Layout, PageId};
+pub use diff::{Diff, DiffRun};
+pub use page::{Page, PAGE_ALIGN_WORD};
+pub use version::{elementwise_min, Interval, ProcId, VectorClock};

@@ -1,0 +1,98 @@
+//! Property tests for the diff and vector-clock machinery.
+
+use dsm_page::{Diff, Interval, Page, PageId, VectorClock};
+use proptest::prelude::*;
+
+const PAGE: usize = 256;
+
+/// Random page contents with low entropy so that diffs have both changed and
+/// unchanged words.
+fn page_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(prop_oneof![Just(0u8), any::<u8>()], PAGE)
+}
+
+proptest! {
+    /// diff(create(twin, cur)).apply(twin) == cur, for arbitrary page pairs.
+    #[test]
+    fn diff_is_exact_patch(a in page_strategy(), b in page_strategy()) {
+        let twin = Page::from_bytes(&a);
+        let cur = Page::from_bytes(&b);
+        let mut replay = twin.clone();
+        if let Some(d) = Diff::create(PageId(0), Interval { proc: 0, seq: 1 }, &twin, &cur) {
+            d.apply(&mut replay);
+        }
+        prop_assert_eq!(replay.bytes(), cur.bytes());
+    }
+
+    /// Runs are sorted, non-overlapping, word-aligned, and only cover words
+    /// that actually differ.
+    #[test]
+    fn diff_runs_are_canonical(a in page_strategy(), b in page_strategy()) {
+        let twin = Page::from_bytes(&a);
+        let cur = Page::from_bytes(&b);
+        if let Some(d) = Diff::create(PageId(0), Interval { proc: 0, seq: 1 }, &twin, &cur) {
+            let mut prev_end = 0u32;
+            for (i, run) in d.runs.iter().enumerate() {
+                prop_assert_eq!(run.offset % 8, 0);
+                prop_assert_eq!(run.bytes.len() % 8, 0);
+                if i > 0 {
+                    // A gap of at least one unchanged word separates runs.
+                    prop_assert!(run.offset >= prev_end + 8);
+                }
+                // Boundary words of each run really differ.
+                let off = run.offset as usize;
+                prop_assert_ne!(&a[off..off + 8], &b[off..off + 8]);
+                let last = off + run.bytes.len() - 8;
+                prop_assert_ne!(&a[last..last + 8], &b[last..last + 8]);
+                prev_end = run.offset + run.bytes.len() as u32;
+            }
+        }
+    }
+
+    /// Vector clock join is the lattice least-upper-bound: commutative,
+    /// idempotent, and covers both operands.
+    #[test]
+    fn vector_clock_join_laws(
+        a in proptest::collection::vec(0u32..50, 4),
+        b in proptest::collection::vec(0u32..50, 4),
+    ) {
+        let va = VectorClock::from_vec(a);
+        let vb = VectorClock::from_vec(b);
+        let mut ab = va.clone();
+        ab.join(&vb);
+        let mut ba = vb.clone();
+        ba.join(&va);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert!(ab.covers(&va) && ab.covers(&vb));
+        let mut idem = ab.clone();
+        idem.join(&ab);
+        prop_assert_eq!(&idem, &ab);
+        // join is the *least* upper bound: any other upper bound covers it.
+        let mut ub = va.clone();
+        ub.join(&vb);
+        prop_assert!(ub.covers(&ab) && ab.covers(&ub));
+    }
+
+    /// `missing_from` enumerates exactly the intervals whose join closes the
+    /// gap between two clocks.
+    #[test]
+    fn missing_from_closes_gap(
+        a in proptest::collection::vec(0u32..20, 4),
+        b in proptest::collection::vec(0u32..20, 4),
+    ) {
+        let va = VectorClock::from_vec(a);
+        let vb = VectorClock::from_vec(b);
+        let missing = va.missing_from(&vb);
+        let mut closed = va.clone();
+        for iv in &missing {
+            prop_assert!(!va.covers_interval(*iv));
+            prop_assert!(vb.covers_interval(*iv));
+            let cur = closed.get(iv.proc);
+            closed.set(iv.proc, cur.max(iv.seq));
+        }
+        // Applying all missing intervals turns `a` into join(a, b).
+        let mut j = va.clone();
+        j.join(&vb);
+        prop_assert_eq!(closed, j);
+    }
+}

@@ -1,0 +1,241 @@
+//! A minimal explicit binary codec: little-endian fixed-width integers and
+//! length-prefixed byte strings.
+//!
+//! Used for checkpoint records and saved log entries. Having our own codec
+//! (instead of an external format crate) gives exact byte accounting — the
+//! encoded length *is* the number charged to stable storage and to message
+//! traffic.
+
+/// Errors produced when decoding malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the requested field.
+    UnexpectedEof {
+        /// Bytes the decoder asked for.
+        wanted: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A tag/discriminant byte had no known interpretation.
+    BadTag {
+        /// What was being decoded.
+        context: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A length field exceeded a sanity bound.
+    LengthOverflow {
+        /// The rejected length.
+        len: u64,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { wanted, remaining } => {
+                write!(f, "unexpected end of input: wanted {wanted} bytes, {remaining} remain")
+            }
+            CodecError::BadTag { context, tag } => write!(f, "bad tag {tag} decoding {context}"),
+            CodecError::LengthOverflow { len } => write!(f, "length field too large: {len}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Maximum length accepted for a single length-prefixed field (1 GiB): a
+/// corrupted length should fail decoding, not abort on allocation.
+const MAX_FIELD_LEN: u64 = 1 << 30;
+
+/// Append-only encoder.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    /// A writer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian f64 (bit pattern preserved).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed vector of u32 (vector clocks and friends).
+    pub fn put_u32_slice(&mut self, v: &[u32]) {
+        self.put_u64(v.len() as u64);
+        for x in v {
+            self.put_u32(*x);
+        }
+    }
+}
+
+/// Sequential decoder over a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Decode from `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when the input is fully consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof { wanted: n, remaining: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian f64 (bit pattern preserved).
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.get_u64()?;
+        if len > MAX_FIELD_LEN {
+            return Err(CodecError::LengthOverflow { len });
+        }
+        self.take(len as usize)
+    }
+
+    /// Length-prefixed vector of u32.
+    pub fn get_u32_vec(&mut self) -> Result<Vec<u32>, CodecError> {
+        let len = self.get_u64()?;
+        if len > MAX_FIELD_LEN / 4 {
+            return Err(CodecError::LengthOverflow { len });
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            out.push(self.get_u32()?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(std::f64::consts::PI);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_f64().unwrap(), std::f64::consts::PI);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn roundtrip_prefixed_fields() {
+        let mut w = ByteWriter::new();
+        w.put_bytes(b"hello");
+        w.put_u32_slice(&[1, 2, 3]);
+        w.put_bytes(b"");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_bytes().unwrap(), b"hello");
+        assert_eq!(r.get_u32_vec().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_bytes().unwrap(), b"");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn eof_is_reported_not_panicked() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(matches!(r.get_u32(), Err(CodecError::UnexpectedEof { wanted: 4, remaining: 2 })));
+    }
+
+    #[test]
+    fn corrupt_length_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX); // absurd length prefix
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.get_bytes(), Err(CodecError::LengthOverflow { .. })));
+    }
+}

@@ -1,0 +1,250 @@
+//! Centralized barrier manager.
+//!
+//! One node (node 0 by default) manages the single global barrier used by
+//! the SPLASH-style applications. Barrier crossings are numbered *episodes*.
+//! An arriving node sends its vector timestamp and the write notices of its
+//! *own* intervals since its previous arrival; once all `n` arrivals are in,
+//! the manager computes the joined timestamp and sends each participant the
+//! notices it is missing.
+//!
+//! Invariant making the own-notices-only arrival sufficient: after episode
+//! `e-1`, every participant's timestamp covers every interval that ended
+//! before the corresponding arrival, so anything a participant can be
+//! missing at episode `e` was created since someone's `e-1` arrival and is
+//! therefore included in that someone's own notices at `e`.
+//!
+//! The last completed episode is retained so the release can be recomputed
+//! for a participant that lost it to a crash and re-arrives.
+
+use std::collections::HashMap;
+
+use dsm_page::{ProcId, VectorClock};
+
+use crate::wn::WriteNotice;
+
+/// A node's arrival at the barrier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arrival {
+    /// The arriving node.
+    pub proc: ProcId,
+    /// Barrier episode number (0-based count of crossings at that node).
+    pub episode: u64,
+    /// The node's timestamp at arrival (its arrival interval just ended).
+    pub vt: VectorClock,
+    /// Write notices for the node's own intervals since its previous
+    /// arrival.
+    pub own_wns: Vec<WriteNotice>,
+}
+
+/// What the manager sends each participant when the barrier completes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReleaseSet {
+    /// The completed episode.
+    pub episode: u64,
+    /// Join of all arrival timestamps.
+    pub vt: VectorClock,
+    /// Per-participant missing write notices, indexed by process id.
+    pub per_proc_wns: Vec<Vec<WriteNotice>>,
+    /// Arrival timestamps, indexed by process id (mirrored into the
+    /// manager's fault-tolerance barrier log).
+    pub arrival_vts: Vec<VectorClock>,
+}
+
+#[derive(Debug)]
+struct CompletedEpisode {
+    episode: u64,
+    vt: VectorClock,
+    arrival_vts: Vec<VectorClock>,
+    all_wns: Vec<WriteNotice>,
+}
+
+/// The barrier manager state machine.
+#[derive(Debug)]
+pub struct BarrierManager {
+    n: usize,
+    episode: u64,
+    arrivals: HashMap<ProcId, Arrival>,
+    last: Option<CompletedEpisode>,
+}
+
+/// Outcome of processing one arrival.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ArriveOutcome {
+    /// Still waiting for more arrivals.
+    Pending,
+    /// All `n` nodes arrived: release everyone.
+    Complete(ReleaseSet),
+    /// A (re-)arrival for the last completed episode (the sender lost the
+    /// release to a crash): resend its release.
+    Resend {
+        /// The re-arriving node.
+        proc: ProcId,
+        /// Episode, joined timestamp and that node's missing notices.
+        release: ReleaseSet,
+    },
+}
+
+impl BarrierManager {
+    /// Manager for an `n`-node cluster.
+    pub fn new(n: usize) -> Self {
+        BarrierManager { n, episode: 0, arrivals: HashMap::new(), last: None }
+    }
+
+    /// The episode currently being collected.
+    pub fn current_episode(&self) -> u64 {
+        self.episode
+    }
+
+    /// Process one arrival (idempotent per (episode, proc)).
+    ///
+    /// # Panics
+    /// On an arrival from the future (more than the current episode), which
+    /// would indicate a runtime bug: no node can pass a barrier before it
+    /// completes.
+    pub fn arrive(&mut self, a: Arrival) -> ArriveOutcome {
+        if a.episode < self.episode {
+            // Only the immediately previous episode can be re-requested: a
+            // node blocked at episode e cannot have passed e, and e-1 is the
+            // newest barrier anyone can have crossed.
+            let last = self.last.as_ref().expect("re-arrival with no completed episode");
+            assert_eq!(a.episode, last.episode, "re-arrival for ancient episode");
+            let wns = missing_wns(&last.all_wns, &last.arrival_vts[a.proc]);
+            let mut per_proc_wns = vec![Vec::new(); self.n];
+            per_proc_wns[a.proc] = wns;
+            return ArriveOutcome::Resend {
+                proc: a.proc,
+                release: ReleaseSet {
+                    episode: last.episode,
+                    vt: last.vt.clone(),
+                    per_proc_wns,
+                    arrival_vts: last.arrival_vts.clone(),
+                },
+            };
+        }
+        assert_eq!(a.episode, self.episode, "arrival from the future");
+        self.arrivals.entry(a.proc).or_insert(a);
+        if self.arrivals.len() < self.n {
+            return ArriveOutcome::Pending;
+        }
+        // Everyone is here: join timestamps and union own-notices.
+        let mut vt = VectorClock::zero(self.arrivals[&0].vt.len());
+        let mut all_wns: Vec<WriteNotice> = Vec::new();
+        let mut arrival_vts = vec![VectorClock::zero(vt.len()); self.n];
+        for (p, slot) in arrival_vts.iter_mut().enumerate() {
+            let a = &self.arrivals[&p];
+            vt.join(&a.vt);
+            all_wns.extend(a.own_wns.iter().cloned());
+            *slot = a.vt.clone();
+        }
+        let per_proc_wns =
+            (0..self.n).map(|p| missing_wns(&all_wns, &arrival_vts[p])).collect::<Vec<_>>();
+        let release = ReleaseSet {
+            episode: self.episode,
+            vt: vt.clone(),
+            per_proc_wns,
+            arrival_vts: arrival_vts.clone(),
+        };
+        self.last = Some(CompletedEpisode {
+            episode: self.episode,
+            vt,
+            arrival_vts,
+            all_wns,
+        });
+        self.episode += 1;
+        self.arrivals.clear();
+        ArriveOutcome::Complete(release)
+    }
+
+    /// Restore the manager's episode counter and last completed episode from
+    /// mirrored records (manager recovery). `last_all_wns` is a conservative
+    /// superset of the last episode's write notices (extras are harmless:
+    /// receivers skip notices their timestamp already covers); `arrival_vts`
+    /// entries missing from the mirrors may be zero clocks, which only makes
+    /// resent releases carry more notices than strictly needed.
+    pub fn restore(
+        &mut self,
+        episode: u64,
+        last: Option<(VectorClock, Vec<VectorClock>, Vec<WriteNotice>)>,
+    ) {
+        self.episode = episode;
+        self.arrivals.clear();
+        self.last = last.map(|(vt, arrival_vts, all_wns)| CompletedEpisode {
+            episode: episode.saturating_sub(1),
+            arrival_vts,
+            vt,
+            all_wns,
+        });
+    }
+}
+
+fn missing_wns(all: &[WriteNotice], have: &VectorClock) -> Vec<WriteNotice> {
+    all.iter().filter(|wn| !have.covers_interval(wn.interval)).cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_page::{Interval, PageId};
+
+    fn wn(p: ProcId, seq: u32, pages: &[u32]) -> WriteNotice {
+        WriteNotice {
+            interval: Interval { proc: p, seq },
+            pages: pages.iter().map(|&x| PageId(x)).collect(),
+        }
+    }
+
+    fn arrival(p: ProcId, ep: u64, vt: Vec<u32>, wns: Vec<WriteNotice>) -> Arrival {
+        Arrival { proc: p, episode: ep, vt: VectorClock::from_vec(vt), own_wns: wns }
+    }
+
+    #[test]
+    fn completes_when_all_arrive_and_joins_vts() {
+        let mut b = BarrierManager::new(3);
+        assert_eq!(b.arrive(arrival(0, 0, vec![1, 0, 0], vec![wn(0, 1, &[1])])), ArriveOutcome::Pending);
+        assert_eq!(b.arrive(arrival(1, 0, vec![0, 2, 0], vec![wn(1, 2, &[2])])), ArriveOutcome::Pending);
+        let out = b.arrive(arrival(2, 0, vec![0, 0, 3], vec![wn(2, 3, &[3])]));
+        let ArriveOutcome::Complete(rel) = out else { panic!("expected completion") };
+        assert_eq!(rel.episode, 0);
+        assert_eq!(rel.vt.as_slice(), &[1, 2, 3]);
+        // Node 0 is missing notices from 1 and 2 but not its own.
+        let wns0: Vec<_> = rel.per_proc_wns[0].iter().map(|w| w.interval.proc).collect();
+        assert_eq!(wns0, vec![1, 2]);
+        assert_eq!(b.current_episode(), 1);
+    }
+
+    #[test]
+    fn duplicate_arrival_is_idempotent() {
+        let mut b = BarrierManager::new(2);
+        assert_eq!(b.arrive(arrival(0, 0, vec![1, 0], vec![])), ArriveOutcome::Pending);
+        assert_eq!(b.arrive(arrival(0, 0, vec![9, 9], vec![])), ArriveOutcome::Pending);
+        let out = b.arrive(arrival(1, 0, vec![0, 1], vec![]));
+        let ArriveOutcome::Complete(rel) = out else { panic!() };
+        // First arrival wins: vt from the duplicate was ignored.
+        assert_eq!(rel.vt.as_slice(), &[1, 1]);
+    }
+
+    #[test]
+    fn rearrival_for_last_episode_resends_release() {
+        let mut b = BarrierManager::new(2);
+        b.arrive(arrival(0, 0, vec![1, 0], vec![wn(0, 1, &[4])]));
+        let ArriveOutcome::Complete(_) = b.arrive(arrival(1, 0, vec![0, 1], vec![])) else {
+            panic!()
+        };
+        // Node 1 crashed before receiving the release and re-arrives.
+        let out = b.arrive(arrival(1, 0, vec![0, 1], vec![]));
+        let ArriveOutcome::Resend { proc, release } = out else { panic!("expected resend") };
+        assert_eq!(proc, 1);
+        assert_eq!(release.episode, 0);
+        assert_eq!(release.vt.as_slice(), &[1, 1]);
+        assert_eq!(release.per_proc_wns[1].len(), 1);
+        // The current episode is still open for new arrivals.
+        assert_eq!(b.arrive(arrival(0, 1, vec![2, 1], vec![])), ArriveOutcome::Pending);
+    }
+
+    #[test]
+    #[should_panic(expected = "future")]
+    fn arrival_from_the_future_panics() {
+        let mut b = BarrierManager::new(2);
+        b.arrive(arrival(0, 5, vec![0, 0], vec![]));
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! Home-based Lazy Release Consistency (HLRC) protocol substrate.
+//!
+//! Pure protocol data structures and state machines, free of threads and
+//! I/O, so every transition is unit-testable:
+//!
+//! * [`wn`] — write notices (page invalidations tagged with the writer's
+//!   interval) and the table of notices a node has learned.
+//! * [`pagetable`] — per-node page state: cached copies, twins, per-page
+//!   required versions; authoritative home copies with version vectors and
+//!   idempotent diff application.
+//! * [`locks`] — the per-lock manager state machine: routing acquire
+//!   requests to the last owner (which grants directly to the requester with
+//!   LRC write notices), queueing, and crash-retransmission bookkeeping.
+//! * [`barrier`] — the centralized barrier manager: episode arrivals
+//!   carrying each node's own write notices since its previous arrival,
+//!   aggregated releases.
+//!
+//! The threaded runtime that drives these machines over a
+//! [`dsm_net::Fabric`] lives in the `ftdsm` crate, together with the fault
+//! tolerance extensions (logging, checkpointing, LLT/CGC, recovery).
+
+pub mod barrier;
+pub mod locks;
+pub mod pagetable;
+pub mod wn;
+
+pub use barrier::{Arrival, BarrierManager, ReleaseSet};
+pub use locks::{LockAction, LockId, LockManagerTable};
+pub use pagetable::{AccessOutcome, HomeMeta, PageMeta, PageState, PageTable};
+pub use wn::{WnTable, WriteNotice};

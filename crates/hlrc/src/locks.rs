@@ -1,0 +1,287 @@
+//! Per-lock manager state machine.
+//!
+//! Each lock has a static *manager* node (`lock_id % n`). Acquire requests
+//! go to the manager, which forwards them to the lock's current *tail* —
+//! the last process that was granted (or will be granted) the lock. The
+//! tail grants directly to the requester with its release-time vector
+//! timestamp and the write notices the requester is missing (LRC).
+//!
+//! To make every acquisition replayable from the mirrored release logs, the
+//! manager acts as the initial owner of its locks: the very first request is
+//! forwarded to the manager itself, which grants with a zero timestamp.
+//!
+//! Crash handling: the manager remembers, per (lock, requester), the last
+//! forward it issued until a newer request from the same requester replaces
+//! it. When a crashed node restarts ([`LockManagerTable::on_node_up`]) the
+//! manager re-issues every forward that was addressed to it; grants are
+//! idempotent (the granter replays them from its release log, the requester
+//! dedups by acquisition sequence number).
+
+use std::collections::HashMap;
+
+use dsm_page::{ProcId, VectorClock};
+
+/// Identifier of an application lock.
+pub type LockId = usize;
+
+/// An acquire request as routed by the manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcqReq {
+    /// The process that wants the lock.
+    pub requester: ProcId,
+    /// The requester's acquisition sequence number (dedup key; each process
+    /// numbers all its lock acquisitions).
+    pub acq_seq: u64,
+    /// The requester's vector timestamp at request time.
+    pub vt: VectorClock,
+}
+
+/// What the manager asks the runtime to do in response to a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockAction {
+    /// The lock in question.
+    pub lock: LockId,
+    /// The node that should produce the grant (the chain tail; possibly the
+    /// manager itself).
+    pub grant_from: ProcId,
+    /// Grant generation: a per-lock counter assigned by the manager. Peers
+    /// remember the highest generation they granted or queued, which lets a
+    /// recovering manager rebuild the chain tail.
+    pub gen: u64,
+    /// The acquisition sequence number, *at the granter*, of the tenure
+    /// this forward chains behind (`u64::MAX` for the chain start). The
+    /// granter grants immediately iff it has already released that tenure —
+    /// its own acquisition numbering is deterministic local knowledge, so
+    /// the test survives the granter's crash and replay.
+    pub pred_acq: u64,
+    /// The request to satisfy.
+    pub req: AcqReq,
+}
+
+#[derive(Debug)]
+struct ManagedLock {
+    /// Last node granted (or forwarded) the lock; grants chain through it.
+    tail: ProcId,
+    /// Generation of the request that made `tail` the tail (0 initially).
+    tail_gen: u64,
+    /// The tail's own acquisition sequence number for that request
+    /// (`u64::MAX` initially: the manager-as-initial-owner has no tenure).
+    tail_acq: u64,
+    /// Next grant generation.
+    gen_next: u64,
+    /// Per-requester last forward, kept for crash retransmission. Replaced
+    /// when the same requester issues a newer acquisition.
+    pending: HashMap<ProcId, PendingFwd>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingFwd {
+    acq_seq: u64,
+    forwarded_to: ProcId,
+    gen: u64,
+    pred_acq: u64,
+}
+
+/// All locks managed by one node.
+#[derive(Debug)]
+pub struct LockManagerTable {
+    me: ProcId,
+    locks: HashMap<LockId, ManagedLock>,
+}
+
+impl LockManagerTable {
+    /// The manager table for node `me`.
+    pub fn new(me: ProcId) -> Self {
+        LockManagerTable { me, locks: HashMap::new() }
+    }
+
+    /// Handle an acquire request (possibly a retransmission) for a lock
+    /// managed here. Returns the forward to issue, or `None` for a stale
+    /// duplicate.
+    pub fn on_request(&mut self, lock: LockId, req: AcqReq) -> Option<LockAction> {
+        let me = self.me;
+        let ml = self.locks.entry(lock).or_insert_with(|| ManagedLock {
+            tail: me,
+            tail_gen: 0,
+            tail_acq: u64::MAX,
+            gen_next: 1,
+            pending: HashMap::new(),
+        });
+        match ml.pending.get(&req.requester) {
+            Some(p) if p.acq_seq == req.acq_seq => {
+                // Retransmission of an in-flight request: re-forward to the
+                // same predecessor; do not advance the chain again.
+                Some(LockAction {
+                    lock,
+                    grant_from: p.forwarded_to,
+                    gen: p.gen,
+                    pred_acq: p.pred_acq,
+                    req,
+                })
+            }
+            Some(p) if p.acq_seq > req.acq_seq => None, // stale duplicate
+            _ => {
+                let grant_from = ml.tail;
+                let pred_acq = ml.tail_acq;
+                let gen = ml.gen_next;
+                ml.gen_next += 1;
+                ml.tail = req.requester;
+                ml.tail_gen = gen;
+                ml.tail_acq = req.acq_seq;
+                ml.pending.insert(
+                    req.requester,
+                    PendingFwd { acq_seq: req.acq_seq, forwarded_to: grant_from, gen, pred_acq },
+                );
+                Some(LockAction { lock, grant_from, gen, pred_acq, req })
+            }
+        }
+    }
+
+    /// A crashed node restarted: re-issue every pending forward that was
+    /// addressed to it (the original may have been dropped).
+    pub fn on_node_up(&mut self, node: ProcId) -> Vec<LockAction> {
+        let mut out = Vec::new();
+        for (&lock, ml) in &self.locks {
+            for (&requester, p) in &ml.pending {
+                if p.forwarded_to == node {
+                    out.push(LockAction {
+                        lock,
+                        grant_from: p.forwarded_to,
+                        gen: p.gen,
+                        pred_acq: p.pred_acq,
+                        req: AcqReq {
+                            requester,
+                            acq_seq: p.acq_seq,
+                            // The retransmitted forward carries a zero vt;
+                            // the granter computes missing notices against
+                            // the vt recorded in its release log for
+                            // already-granted requests, and requesters of
+                            // live grants resend their own request anyway.
+                            vt: VectorClock::zero(0),
+                        },
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Manager recovery: restore a lock's chain from the highest grant
+    /// generation reported by peers (the grantee of the newest issued or
+    /// queued grant is the chain tail).
+    pub fn restore_chain(&mut self, lock: LockId, gen: u64, tail: ProcId, tail_acq: u64) {
+        let ml = self.locks.entry(lock).or_insert_with(|| ManagedLock {
+            tail,
+            tail_gen: gen,
+            tail_acq,
+            gen_next: gen + 1,
+            pending: HashMap::new(),
+        });
+        if gen + 1 > ml.gen_next {
+            ml.gen_next = gen + 1;
+            ml.tail = tail;
+            ml.tail_gen = gen;
+            ml.tail_acq = tail_acq;
+        }
+    }
+
+    /// Recovery: the recovering manager replayed a self-granted tenure of a
+    /// lock it manages; it is therefore the chain tail regardless of what
+    /// (older) generations peers reported.
+    pub fn force_tail(&mut self, lock: LockId, tail: ProcId, tail_acq: u64) {
+        let ml = self.locks.entry(lock).or_insert_with(|| ManagedLock {
+            tail,
+            tail_gen: 0,
+            tail_acq,
+            gen_next: 1,
+            pending: HashMap::new(),
+        });
+        ml.tail = tail;
+        ml.tail_acq = tail_acq;
+        ml.tail_gen = ml.gen_next;
+        ml.gen_next += 1;
+    }
+
+    /// Number of locks with state.
+    pub fn len(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// True when no lock has been requested yet.
+    pub fn is_empty(&self) -> bool {
+        self.locks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(r: ProcId, seq: u64) -> AcqReq {
+        AcqReq { requester: r, acq_seq: seq, vt: VectorClock::zero(4) }
+    }
+
+    #[test]
+    fn first_request_is_granted_by_the_manager_itself() {
+        let mut m = LockManagerTable::new(2);
+        let a = m.on_request(9, req(1, 0)).unwrap();
+        assert_eq!(a.grant_from, 2);
+        assert_eq!(a.req.requester, 1);
+    }
+
+    #[test]
+    fn requests_chain_through_previous_requesters() {
+        let mut m = LockManagerTable::new(0);
+        let a1 = m.on_request(5, req(1, 0)).unwrap();
+        assert_eq!(a1.grant_from, 0);
+        let a2 = m.on_request(5, req(2, 0)).unwrap();
+        assert_eq!(a2.grant_from, 1);
+        let a3 = m.on_request(5, req(3, 0)).unwrap();
+        assert_eq!(a3.grant_from, 2);
+        // Re-acquisition by an earlier holder chains normally.
+        let a4 = m.on_request(5, req(1, 1)).unwrap();
+        assert_eq!(a4.grant_from, 3);
+    }
+
+    #[test]
+    fn retransmission_reforwards_without_advancing_chain() {
+        let mut m = LockManagerTable::new(0);
+        m.on_request(5, req(1, 0)).unwrap();
+        let retx = m.on_request(5, req(1, 0)).unwrap();
+        assert_eq!(retx.grant_from, 0);
+        // Chain tail is still 1: a new requester is forwarded to 1.
+        let a = m.on_request(5, req(2, 0)).unwrap();
+        assert_eq!(a.grant_from, 1);
+    }
+
+    #[test]
+    fn stale_duplicate_is_dropped() {
+        let mut m = LockManagerTable::new(0);
+        m.on_request(5, req(1, 0)).unwrap();
+        m.on_request(5, req(1, 1)).unwrap();
+        assert_eq!(m.on_request(5, req(1, 0)), None);
+    }
+
+    #[test]
+    fn node_up_reissues_forwards_addressed_to_it() {
+        let mut m = LockManagerTable::new(0);
+        m.on_request(5, req(1, 0)).unwrap(); // granted by 0
+        m.on_request(5, req(2, 0)).unwrap(); // forwarded to 1
+        m.on_request(7, req(3, 0)).unwrap(); // granted by 0
+        let redo = m.on_node_up(1);
+        assert_eq!(redo.len(), 1);
+        assert_eq!(redo[0].lock, 5);
+        assert_eq!(redo[0].grant_from, 1);
+        assert_eq!(redo[0].req.requester, 2);
+        assert_eq!(redo[0].req.acq_seq, 0);
+        assert!(m.on_node_up(9).is_empty());
+    }
+
+    #[test]
+    fn distinct_locks_have_independent_chains() {
+        let mut m = LockManagerTable::new(0);
+        m.on_request(1, req(1, 0)).unwrap();
+        let a = m.on_request(2, req(2, 0)).unwrap();
+        assert_eq!(a.grant_from, 0);
+    }
+}

@@ -1,0 +1,550 @@
+//! Per-node page state.
+//!
+//! Each node sees every shared page as either *homed here* (it holds the
+//! authoritative copy and its version vector `p.v`) or *remote* (it may hold
+//! a cached copy, which write notices invalidate).
+//!
+//! Writes are detected at the API boundary (see DESIGN.md: this substitutes
+//! for the paper's mprotect/SIGSEGV machinery): the first write to a page in
+//! an interval creates a *twin*; at interval end, [`PageTable::end_interval`]
+//! turns twins into word-granularity diffs exactly as HLRC does.
+
+use dsm_page::{Diff, Interval, Page, PageId, ProcId, VectorClock};
+
+/// Validity of a cached remote page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// No usable local copy; the next access must fetch from the home.
+    Invalid,
+    /// The cached copy satisfies every invalidation seen so far.
+    Valid,
+}
+
+/// State for a page homed at this node.
+#[derive(Debug)]
+pub struct HomeMeta {
+    /// The authoritative copy.
+    pub copy: Page,
+    /// `p.v`: the most recent interval of each writer applied to the copy.
+    pub version: VectorClock,
+    /// Minimal version local accesses must observe (bumped by write
+    /// notices; accesses wait until `version` covers it, since diffs travel
+    /// separately from notices).
+    pub needed: VectorClock,
+    /// Processes that have ever sent diffs for this page (targets for the
+    /// lazy `p0.v` piggyback of the CGC/LLT scheme).
+    pub writers: Vec<ProcId>,
+}
+
+/// State for a page homed elsewhere.
+#[derive(Debug)]
+pub struct PageMeta {
+    /// The page's home node.
+    pub home: ProcId,
+    /// Validity of `copy`.
+    pub state: PageState,
+    /// Cached copy (meaningful when `state == Valid`).
+    pub copy: Option<Page>,
+    /// Minimal version the next fetch must include (join of invalidations).
+    pub needed: VectorClock,
+}
+
+#[derive(Debug)]
+enum Entry {
+    Home(HomeMeta),
+    Remote(PageMeta),
+}
+
+#[derive(Debug)]
+struct Slot {
+    entry: Entry,
+    /// Pre-write copy for the current interval; `Some` iff this node wrote
+    /// the page in the current interval.
+    twin: Option<Page>,
+}
+
+/// What an access needs before it can proceed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The local copy is usable.
+    Ready,
+    /// Fetch the page from `home` with at least version `needed` (for homed
+    /// pages this means: wait until in-flight diffs arrive).
+    NeedFetch {
+        /// The page's home node.
+        home: ProcId,
+        /// Minimal version the fetched copy must include.
+        needed: VectorClock,
+    },
+}
+
+/// The full per-node page table.
+#[derive(Debug)]
+pub struct PageTable {
+    me: ProcId,
+    n: usize,
+    page_size: usize,
+    slots: Vec<Slot>,
+}
+
+impl PageTable {
+    /// An empty table for node `me` of an `n`-node cluster.
+    pub fn new(me: ProcId, n: usize, page_size: usize) -> Self {
+        PageTable { me, n, page_size, slots: Vec::new() }
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> ProcId {
+        self.me
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of pages in the shared space.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no pages exist yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Append the next shared page, homed at `home`. Every node must call
+    /// this in the same order with the same arguments (allocation is a
+    /// deterministic SPMD operation). Returns the new page id.
+    pub fn add_page(&mut self, home: ProcId) -> PageId {
+        let id = PageId(self.slots.len() as u32);
+        let entry = if home == self.me {
+            Entry::Home(HomeMeta {
+                copy: Page::zeroed(self.page_size),
+                version: VectorClock::zero(self.n),
+                needed: VectorClock::zero(self.n),
+                writers: Vec::new(),
+            })
+        } else {
+            Entry::Remote(PageMeta {
+                home,
+                state: PageState::Invalid,
+                copy: None,
+                needed: VectorClock::zero(self.n),
+            })
+        };
+        self.slots.push(Slot { entry, twin: None });
+        id
+    }
+
+    /// The home of `page`.
+    pub fn home_of(&self, page: PageId) -> ProcId {
+        match &self.slots[page.index()].entry {
+            Entry::Home(_) => self.me,
+            Entry::Remote(m) => m.home,
+        }
+    }
+
+    /// Is `page` homed at this node?
+    pub fn is_home(&self, page: PageId) -> bool {
+        matches!(self.slots[page.index()].entry, Entry::Home(_))
+    }
+
+    /// Can `page` be accessed right now, and if not, what fetch is needed?
+    pub fn ensure_access(&self, page: PageId) -> AccessOutcome {
+        match &self.slots[page.index()].entry {
+            Entry::Home(h) => {
+                if h.version.covers(&h.needed) {
+                    AccessOutcome::Ready
+                } else {
+                    AccessOutcome::NeedFetch { home: self.me, needed: h.needed.clone() }
+                }
+            }
+            Entry::Remote(m) => {
+                if m.state == PageState::Valid {
+                    AccessOutcome::Ready
+                } else {
+                    AccessOutcome::NeedFetch { home: m.home, needed: m.needed.clone() }
+                }
+            }
+        }
+    }
+
+    /// Read `len` bytes at `offset` of a `Ready` page.
+    ///
+    /// # Panics
+    /// If the page is not accessible (callers must first get
+    /// [`AccessOutcome::Ready`]).
+    pub fn read(&self, page: PageId, offset: usize, len: usize) -> &[u8] {
+        match &self.slots[page.index()].entry {
+            Entry::Home(h) => h.copy.read(offset, len),
+            Entry::Remote(m) => m
+                .copy
+                .as_ref()
+                .unwrap_or_else(|| panic!("read of invalid page {page}"))
+                .read(offset, len),
+        }
+    }
+
+    /// Write `bytes` at `offset` of a `Ready` page, creating the twin on the
+    /// first write of the interval.
+    ///
+    /// # Panics
+    /// If the page is not accessible.
+    pub fn write(&mut self, page: PageId, offset: usize, bytes: &[u8]) {
+        let slot = &mut self.slots[page.index()];
+        match &mut slot.entry {
+            Entry::Home(h) => {
+                if slot.twin.is_none() {
+                    slot.twin = Some(h.copy.twin());
+                }
+                h.copy.write(offset, bytes);
+            }
+            Entry::Remote(m) => {
+                let copy = m
+                    .copy
+                    .as_mut()
+                    .unwrap_or_else(|| panic!("write to invalid page {page}"));
+                if slot.twin.is_none() {
+                    slot.twin = Some(copy.twin());
+                }
+                copy.write(offset, bytes);
+            }
+        }
+    }
+
+    /// Install a fetched copy of a remote page.
+    pub fn install_fetch(&mut self, page: PageId, bytes: &[u8], version: &VectorClock) {
+        let slot = &mut self.slots[page.index()];
+        match &mut slot.entry {
+            Entry::Home(_) => panic!("install_fetch on homed page {page}"),
+            Entry::Remote(m) => {
+                debug_assert!(
+                    version.covers(&m.needed),
+                    "fetched copy older than required version"
+                );
+                m.copy = Some(Page::from_bytes(bytes));
+                m.state = PageState::Valid;
+            }
+        }
+    }
+
+    /// Apply a write notice: invalidate the cached copy (remote) or record
+    /// the pending version (home). Must not be called while the node has an
+    /// unflushed twin for the page (sync ops end the interval first).
+    pub fn invalidate(&mut self, page: PageId, writer: ProcId, seq: u32) {
+        let slot = &mut self.slots[page.index()];
+        assert!(slot.twin.is_none(), "invalidation with unflushed twin for {page}");
+        match &mut slot.entry {
+            Entry::Home(h) => {
+                if h.needed.get(writer) < seq {
+                    h.needed.set(writer, seq);
+                }
+            }
+            Entry::Remote(m) => {
+                if writer != self.me {
+                    m.state = PageState::Invalid;
+                    m.copy = None;
+                }
+                if m.needed.get(writer) < seq {
+                    m.needed.set(writer, seq);
+                }
+            }
+        }
+    }
+
+    /// Pages written (twinned) in the current interval.
+    pub fn written_pages(&self) -> Vec<PageId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.twin.is_some())
+            .map(|(i, _)| PageId(i as u32))
+            .collect()
+    }
+
+    /// End the current interval: turn every twin into a diff, drop the
+    /// twins, and (for homed pages) advance `p.v[me]` to the interval.
+    ///
+    /// Returns the diffs; the caller sends those for remote pages to their
+    /// homes and (in the fault-tolerant protocol) appends all of them to the
+    /// diff logs.
+    pub fn end_interval(&mut self, interval: Interval) -> Vec<Diff> {
+        debug_assert_eq!(interval.proc, self.me);
+        let mut diffs = Vec::new();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            let Some(twin) = slot.twin.take() else { continue };
+            let page = PageId(i as u32);
+            let current = match &slot.entry {
+                Entry::Home(h) => &h.copy,
+                Entry::Remote(m) => m.copy.as_ref().expect("twinned page must be valid"),
+            };
+            if let Some(d) = Diff::create(page, interval, &twin, current) {
+                diffs.push(d);
+            }
+            if let Entry::Home(h) = &mut slot.entry {
+                // The home's own writes are applied in place; record them in
+                // the version vector like any other writer's diff.
+                h.version.set(self.me, interval.seq);
+            }
+        }
+        diffs
+    }
+
+    /// Apply a diff at the home. Idempotent: diffs for intervals already
+    /// covered by `p.v[writer]` are skipped (this makes recovery-time
+    /// retransmissions safe). Returns whether the diff was applied.
+    ///
+    /// # Panics
+    /// If this node is not the page's home.
+    pub fn home_apply_diff(&mut self, diff: &Diff) -> bool {
+        let slot = &mut self.slots[diff.page.index()];
+        let Entry::Home(h) = &mut slot.entry else {
+            panic!("diff for page {} sent to non-home", diff.page)
+        };
+        let writer = diff.interval.proc;
+        if h.version.get(writer) >= diff.interval.seq {
+            return false;
+        }
+        diff.apply(&mut h.copy);
+        h.version.set(writer, diff.interval.seq);
+        if !h.writers.contains(&writer) {
+            h.writers.push(writer);
+        }
+        true
+    }
+
+    /// Home metadata for a homed page.
+    pub fn home_meta(&self, page: PageId) -> &HomeMeta {
+        match &self.slots[page.index()].entry {
+            Entry::Home(h) => h,
+            Entry::Remote(_) => panic!("home_meta on remote page {page}"),
+        }
+    }
+
+    /// Mutable home metadata for a homed page.
+    pub fn home_meta_mut(&mut self, page: PageId) -> &mut HomeMeta {
+        match &mut self.slots[page.index()].entry {
+            Entry::Home(h) => h,
+            Entry::Remote(_) => panic!("home_meta on remote page {page}"),
+        }
+    }
+
+    /// Does the home copy of `page` satisfy `needed`?
+    pub fn home_satisfies(&self, page: PageId, needed: &VectorClock) -> bool {
+        self.home_meta(page).version.covers(needed)
+    }
+
+    /// Ids of all pages homed at this node.
+    pub fn homed_pages(&self) -> Vec<PageId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.entry, Entry::Home(_)))
+            .map(|(i, _)| PageId(i as u32))
+            .collect()
+    }
+
+    /// Remote-page metadata (for checkpointing `needed` and tests).
+    pub fn remote_meta(&self, page: PageId) -> &PageMeta {
+        match &self.slots[page.index()].entry {
+            Entry::Remote(m) => m,
+            Entry::Home(_) => panic!("remote_meta on homed page {page}"),
+        }
+    }
+
+    /// Restart support: drop every cached remote copy and twin (the crash
+    /// lost them), keeping home entries for the caller to overwrite from the
+    /// checkpoint, and set the remote `needed` vectors from `needed_by_page`
+    /// (page, writer, seq) triples saved in the checkpoint.
+    pub fn reset_for_restart(&mut self, needed_by_page: &[(PageId, ProcId, u32)]) {
+        for slot in &mut self.slots {
+            slot.twin = None;
+            match &mut slot.entry {
+                Entry::Home(h) => {
+                    h.needed = VectorClock::zero(self.n);
+                }
+                Entry::Remote(m) => {
+                    m.state = PageState::Invalid;
+                    m.copy = None;
+                    m.needed = VectorClock::zero(self.n);
+                }
+            }
+        }
+        for &(page, writer, seq) in needed_by_page {
+            match &mut self.slots[page.index()].entry {
+                Entry::Home(h) => h.needed.set(writer, seq),
+                Entry::Remote(m) => m.needed.set(writer, seq),
+            }
+        }
+    }
+
+    /// Checkpoint support: the (page, writer, seq) triples of every nonzero
+    /// `needed` entry.
+    pub fn needed_triples(&self) -> Vec<(PageId, ProcId, u32)> {
+        let mut out = Vec::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            let needed = match &slot.entry {
+                Entry::Home(h) => &h.needed,
+                Entry::Remote(m) => &m.needed,
+            };
+            for (p, &seq) in needed.as_slice().iter().enumerate() {
+                if seq > 0 {
+                    out.push((PageId(i as u32), p, seq));
+                }
+            }
+        }
+        out
+    }
+
+    /// Overwrite the authoritative copy and version of a homed page
+    /// (restoring from a checkpoint during recovery).
+    pub fn restore_home_page(&mut self, page: PageId, bytes: &[u8], version: VectorClock) {
+        let h = self.home_meta_mut(page);
+        h.copy = Page::from_bytes(bytes);
+        h.version = version;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(p: ProcId, s: u32) -> Interval {
+        Interval { proc: p, seq: s }
+    }
+
+    fn table() -> PageTable {
+        // Node 0 of 2; page 0 homed here, page 1 homed at node 1.
+        let mut t = PageTable::new(0, 2, 64);
+        t.add_page(0);
+        t.add_page(1);
+        t
+    }
+
+    #[test]
+    fn home_pages_are_immediately_accessible() {
+        let t = table();
+        assert!(t.is_home(PageId(0)));
+        assert_eq!(t.ensure_access(PageId(0)), AccessOutcome::Ready);
+        assert_eq!(t.read(PageId(0), 0, 4), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn remote_pages_start_invalid_and_need_fetch() {
+        let t = table();
+        assert!(!t.is_home(PageId(1)));
+        match t.ensure_access(PageId(1)) {
+            AccessOutcome::NeedFetch { home, needed } => {
+                assert_eq!(home, 1);
+                assert_eq!(needed, VectorClock::zero(2));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fetch_install_then_write_creates_twin_and_diff() {
+        let mut t = table();
+        t.install_fetch(PageId(1), &[0u8; 64], &VectorClock::zero(2));
+        assert_eq!(t.ensure_access(PageId(1)), AccessOutcome::Ready);
+        t.write(PageId(1), 8, &[42]);
+        assert_eq!(t.written_pages(), vec![PageId(1)]);
+        let diffs = t.end_interval(iv(0, 1));
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].page, PageId(1));
+        assert_eq!(diffs[0].interval, iv(0, 1));
+        assert!(t.written_pages().is_empty());
+    }
+
+    #[test]
+    fn home_writes_advance_own_version_at_interval_end() {
+        let mut t = table();
+        t.write(PageId(0), 0, &[1, 2, 3]);
+        let diffs = t.end_interval(iv(0, 3));
+        // The home's own diff is returned (for FT logging) but the copy is
+        // already up to date and p.v[0] advanced.
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(t.home_meta(PageId(0)).version.get(0), 3);
+    }
+
+    #[test]
+    fn diff_application_is_idempotent_and_ordered() {
+        let mut t = table();
+        let twin = Page::zeroed(64);
+        let mut cur = twin.clone();
+        cur.write(0, &[7; 8]);
+        let d = Diff::create(PageId(0), iv(1, 2), &twin, &cur).unwrap();
+        assert!(t.home_apply_diff(&d));
+        assert!(!t.home_apply_diff(&d)); // duplicate skipped
+        assert_eq!(t.home_meta(PageId(0)).version.get(1), 2);
+        assert_eq!(t.home_meta(PageId(0)).writers, vec![1]);
+        assert_eq!(t.read(PageId(0), 0, 8), &[7; 8]);
+    }
+
+    #[test]
+    fn invalidation_forces_refetch_with_higher_version() {
+        let mut t = table();
+        t.install_fetch(PageId(1), &[0u8; 64], &VectorClock::zero(2));
+        t.invalidate(PageId(1), 1, 4);
+        match t.ensure_access(PageId(1)) {
+            AccessOutcome::NeedFetch { needed, .. } => assert_eq!(needed.get(1), 4),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn own_write_notice_does_not_invalidate_own_copy() {
+        let mut t = table();
+        t.install_fetch(PageId(1), &[0u8; 64], &VectorClock::zero(2));
+        // A notice about our own interval comes back via a barrier: the
+        // local copy already contains those writes.
+        t.invalidate(PageId(1), 0, 1);
+        assert_eq!(t.ensure_access(PageId(1)), AccessOutcome::Ready);
+    }
+
+    #[test]
+    fn home_access_waits_for_pending_diffs() {
+        let mut t = table();
+        t.invalidate(PageId(0), 1, 2); // notice arrived before the diff
+        match t.ensure_access(PageId(0)) {
+            AccessOutcome::NeedFetch { home, needed } => {
+                assert_eq!(home, 0);
+                assert_eq!(needed.get(1), 2);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // Diff arrives: accessible again.
+        let twin = Page::zeroed(64);
+        let mut cur = twin.clone();
+        cur.write(0, &[1; 8]);
+        let d = Diff::create(PageId(0), iv(1, 2), &twin, &cur).unwrap();
+        t.home_apply_diff(&d);
+        assert_eq!(t.ensure_access(PageId(0)), AccessOutcome::Ready);
+    }
+
+    #[test]
+    fn restart_reset_drops_copies_and_restores_needed() {
+        let mut t = table();
+        t.install_fetch(PageId(1), &[1u8; 64], &VectorClock::zero(2));
+        t.reset_for_restart(&[(PageId(1), 1, 7)]);
+        match t.ensure_access(PageId(1)) {
+            AccessOutcome::NeedFetch { needed, .. } => assert_eq!(needed.get(1), 7),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn needed_triples_roundtrip_through_reset() {
+        let mut t = table();
+        t.invalidate(PageId(1), 1, 3);
+        t.invalidate(PageId(0), 1, 5);
+        let mut triples = t.needed_triples();
+        triples.sort();
+        let mut t2 = table();
+        t2.reset_for_restart(&triples);
+        assert_eq!(t2.needed_triples().len(), 2);
+        assert_eq!(t2.remote_meta(PageId(1)).needed.get(1), 3);
+        assert_eq!(t2.home_meta(PageId(0)).needed.get(1), 5);
+    }
+}

@@ -1,0 +1,159 @@
+//! Write notices and the write-notice table.
+//!
+//! A *write notice* announces that a process wrote a set of pages during one
+//! of its intervals. Notices travel on lock grants and barrier releases; a
+//! receiving node invalidates its cached copies of the named pages.
+//!
+//! The [`WnTable`] stores every notice a node has learned (its own and
+//! foreign). LRC invariant: a node's table covers its vector timestamp, so
+//! when it grants a lock it can supply the notices the acquirer is missing.
+
+use std::collections::HashMap;
+
+use dsm_page::{Interval, PageId, ProcId, VectorClock};
+
+/// The pages one process wrote during one interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteNotice {
+    /// The writer's interval.
+    pub interval: Interval,
+    /// Pages written in that interval (sorted, deduplicated).
+    pub pages: Vec<PageId>,
+}
+
+impl WriteNotice {
+    /// Encoded size in bytes (interval: 8, count: 4, page ids: 4 each).
+    pub fn wire_size(&self) -> usize {
+        12 + 4 * self.pages.len()
+    }
+}
+
+/// All write notices known to a node, keyed by interval.
+#[derive(Debug, Default, Clone)]
+pub struct WnTable {
+    map: HashMap<(ProcId, u32), Vec<PageId>>,
+}
+
+impl WnTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a notice. Re-insertions (retransmissions during recovery) are
+    /// idempotent.
+    pub fn insert(&mut self, wn: WriteNotice) {
+        self.map.entry((wn.interval.proc, wn.interval.seq)).or_insert(wn.pages);
+    }
+
+    /// Record a notice from parts.
+    pub fn insert_parts(&mut self, interval: Interval, pages: Vec<PageId>) {
+        self.insert(WriteNotice { interval, pages });
+    }
+
+    /// Pages written in `interval`, if known. An interval with no writes has
+    /// no entry; both "unknown" and "empty" return `None`/`Some(&[])`
+    /// respectively only if inserted that way — the protocol never inserts
+    /// empty notices.
+    pub fn get(&self, interval: Interval) -> Option<&[PageId]> {
+        self.map.get(&(interval.proc, interval.seq)).map(|v| v.as_slice())
+    }
+
+    /// Number of stored notices.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no notices are stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The notices for every interval in `(from, to]` (elementwise) that has
+    /// an entry — what a granter sends to an acquirer with timestamp `from`
+    /// when its own timestamp is `to`. Intervals without writes simply have
+    /// no notice.
+    pub fn missing_between(&self, from: &VectorClock, to: &VectorClock) -> Vec<WriteNotice> {
+        from.missing_from(to)
+            .into_iter()
+            .filter_map(|iv| {
+                self.get(iv).map(|pages| WriteNotice { interval: iv, pages: pages.to_vec() })
+            })
+            .collect()
+    }
+
+    /// Drop notices for intervals covered by `bound` (elementwise): used
+    /// when every process is known to have advanced past them. Returns the
+    /// number of dropped notices.
+    pub fn trim_covered_by(&mut self, bound: &VectorClock) -> usize {
+        let before = self.map.len();
+        self.map.retain(|(p, seq), _| *seq > bound.get(*p));
+        before - self.map.len()
+    }
+
+    /// Total approximate memory footprint in bytes (for log accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.map.values().map(|v| 12 + 4 * v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(p: ProcId, s: u32) -> Interval {
+        Interval { proc: p, seq: s }
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = WnTable::new();
+        t.insert_parts(iv(1, 3), vec![PageId(5), PageId(9)]);
+        assert_eq!(t.get(iv(1, 3)), Some(&[PageId(5), PageId(9)][..]));
+        assert_eq!(t.get(iv(1, 4)), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_is_idempotent() {
+        let mut t = WnTable::new();
+        t.insert_parts(iv(0, 1), vec![PageId(1)]);
+        t.insert_parts(iv(0, 1), vec![PageId(2)]); // retransmission: ignored
+        assert_eq!(t.get(iv(0, 1)), Some(&[PageId(1)][..]));
+    }
+
+    #[test]
+    fn missing_between_selects_gap_with_entries() {
+        let mut t = WnTable::new();
+        t.insert_parts(iv(0, 2), vec![PageId(1)]);
+        t.insert_parts(iv(0, 3), vec![PageId(2)]);
+        t.insert_parts(iv(1, 1), vec![PageId(3)]);
+        // interval (0,1) exists logically but had no writes: no entry.
+        let from = VectorClock::from_vec(vec![1, 0]);
+        let to = VectorClock::from_vec(vec![3, 1]);
+        let missing = t.missing_between(&from, &to);
+        assert_eq!(missing.len(), 3);
+        assert_eq!(missing[0].interval, iv(0, 2));
+        assert_eq!(missing[1].interval, iv(0, 3));
+        assert_eq!(missing[2].interval, iv(1, 1));
+    }
+
+    #[test]
+    fn trim_drops_only_covered() {
+        let mut t = WnTable::new();
+        t.insert_parts(iv(0, 1), vec![PageId(1)]);
+        t.insert_parts(iv(0, 5), vec![PageId(1)]);
+        t.insert_parts(iv(1, 2), vec![PageId(2)]);
+        let dropped = t.trim_covered_by(&VectorClock::from_vec(vec![3, 2]));
+        assert_eq!(dropped, 2);
+        assert!(t.get(iv(0, 5)).is_some());
+        assert!(t.get(iv(0, 1)).is_none());
+        assert!(t.get(iv(1, 2)).is_none());
+    }
+
+    #[test]
+    fn wire_size_matches_layout() {
+        let wn = WriteNotice { interval: iv(0, 1), pages: vec![PageId(1), PageId(2)] };
+        assert_eq!(wn.wire_size(), 12 + 8);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the protocol state machines.
+
+use dsm_page::{Interval, PageId, VectorClock};
+use hlrc::barrier::{Arrival, ArriveOutcome, BarrierManager};
+use hlrc::locks::{AcqReq, LockManagerTable};
+use hlrc::{WnTable, WriteNotice};
+use proptest::prelude::*;
+
+proptest! {
+    /// The lock manager builds one chain: every request gets exactly one
+    /// forward, the granter of request k+1 is the requester of request k,
+    /// generations are strictly increasing, and pred_acq always names the
+    /// granter's own previous acquisition.
+    #[test]
+    fn lock_chain_is_a_chain(reqs in proptest::collection::vec(0usize..5, 1..40)) {
+        let me = 7usize;
+        let mut mgr = LockManagerTable::new(me);
+        let mut acq_seq = vec![0u64; 6];
+        let mut prev_requester = me;
+        let mut prev_acq = u64::MAX;
+        let mut prev_gen = 0u64;
+        for r in reqs {
+            let seq = acq_seq[r];
+            acq_seq[r] += 1;
+            let a = mgr
+                .on_request(3, AcqReq { requester: r, acq_seq: seq, vt: VectorClock::zero(8) })
+                .expect("fresh request must produce an action");
+            prop_assert_eq!(a.grant_from, prev_requester);
+            prop_assert_eq!(a.pred_acq, prev_acq);
+            prop_assert!(a.gen > prev_gen);
+            prev_gen = a.gen;
+            prev_requester = r;
+            prev_acq = seq;
+        }
+    }
+
+    /// Retransmissions never advance the chain: re-sending any in-flight
+    /// request returns the original routing.
+    #[test]
+    fn lock_retransmission_is_idempotent(reqs in proptest::collection::vec(0usize..4, 1..20)) {
+        let mut mgr = LockManagerTable::new(0);
+        let mut acq_seq = vec![0u64; 4];
+        let mut actions = Vec::new();
+        for r in &reqs {
+            let seq = acq_seq[*r];
+            acq_seq[*r] += 1;
+            let a = mgr
+                .on_request(1, AcqReq { requester: *r, acq_seq: seq, vt: VectorClock::zero(4) })
+                .unwrap();
+            actions.push(a);
+        }
+        // Re-send the most recent request of each requester.
+        for a in actions.iter().rev() {
+            let retx = mgr.on_request(
+                1,
+                AcqReq {
+                    requester: a.req.requester,
+                    acq_seq: a.req.acq_seq,
+                    vt: VectorClock::zero(4),
+                },
+            );
+            if let Some(rx) = retx {
+                if rx.req.acq_seq == a.req.acq_seq {
+                    prop_assert_eq!(rx.grant_from, a.grant_from);
+                    prop_assert_eq!(rx.gen, a.gen);
+                    prop_assert_eq!(rx.pred_acq, a.pred_acq);
+                }
+            }
+        }
+    }
+
+    /// The barrier release timestamp is exactly the join of the arrivals,
+    /// and each participant receives exactly the notices its own arrival
+    /// timestamp does not cover.
+    #[test]
+    fn barrier_release_is_join_of_arrivals(
+        vts in proptest::collection::vec(proptest::collection::vec(0u32..8, 3), 3),
+    ) {
+        let mut mgr = BarrierManager::new(3);
+        let mut expected = VectorClock::zero(3);
+        let mut outcome = ArriveOutcome::Pending;
+        for (p, raw) in vts.iter().enumerate() {
+            let vt = VectorClock::from_vec(raw.clone());
+            expected.join(&vt);
+            let wns = vec![WriteNotice {
+                interval: Interval { proc: p, seq: raw[p] + 1 },
+                pages: vec![PageId(p as u32)],
+            }];
+            outcome = mgr.arrive(Arrival { proc: p, episode: 0, vt, own_wns: wns });
+        }
+        let ArriveOutcome::Complete(rel) = outcome else {
+            return Err(TestCaseError::fail("barrier did not complete"));
+        };
+        prop_assert_eq!(&rel.vt, &expected);
+        for (p, wns) in rel.per_proc_wns.iter().enumerate() {
+            for wn in wns {
+                prop_assert!(!rel.arrival_vts[p].covers_interval(wn.interval));
+            }
+        }
+    }
+
+    /// `missing_between` returns exactly the table entries in the half-open
+    /// version interval, compared against a brute-force scan.
+    #[test]
+    fn wn_missing_between_matches_bruteforce(
+        entries in proptest::collection::vec((0usize..4, 1u32..12, 0u32..64), 0..60),
+        from in proptest::collection::vec(0u32..12, 4),
+        to_delta in proptest::collection::vec(0u32..6, 4),
+    ) {
+        let mut table = WnTable::new();
+        let mut reference = std::collections::HashMap::new();
+        for (p, seq, page) in entries {
+            let iv = Interval { proc: p, seq };
+            table.insert_parts(iv, vec![PageId(page)]);
+            reference.entry((p, seq)).or_insert(page);
+        }
+        let from = VectorClock::from_vec(from);
+        let mut to = from.clone();
+        for (p, d) in to_delta.iter().enumerate() {
+            to.set(p, from.get(p) + d);
+        }
+        let got = table.missing_between(&from, &to);
+        for wn in &got {
+            let iv = wn.interval;
+            prop_assert!(!from.covers_interval(iv));
+            prop_assert!(to.covers_interval(iv));
+            prop_assert!(reference.contains_key(&(iv.proc, iv.seq)));
+        }
+        // Every known entry in the gap is present.
+        let expected = reference
+            .keys()
+            .filter(|(p, seq)| {
+                let iv = Interval { proc: *p, seq: *seq };
+                !from.covers_interval(iv) && to.covers_interval(iv)
+            })
+            .count();
+        prop_assert_eq!(got.len(), expected);
+    }
+}

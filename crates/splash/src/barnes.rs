@@ -1,0 +1,451 @@
+//! Barnes — hierarchical N-body (Barnes-Hut), after SPLASH-2 `barnes`.
+//!
+//! Simulates a self-gravitating system of bodies in three dimensions over a
+//! number of time-steps. Each step: the octree is rebuilt *in parallel* —
+//! each node builds the subtrees of its share of the eight root octants and
+//! writes them into its slice of the shared cell arrays, and node 0
+//! assembles the root (this reproduces the original's parallel tree build
+//! and its naturally imbalanced update volume: clustered bodies make some
+//! octants much heavier than others — in the paper's run the volume of
+//! logs varied from 290 to 460 MB across nodes). Every node then computes
+//! forces for its block of bodies by traversing the tree (irregular read
+//! pattern), accumulates a global energy diagnostic under a lock, and
+//! integrates its bodies. Four barriers per step, matching the original's
+//! barrier-heavy structure.
+
+use ftdsm::{HomeAlloc, Process, SharedVec};
+
+use crate::{fold_f64, hash_unit};
+
+/// Barnes parameters.
+#[derive(Debug, Clone)]
+pub struct BarnesParams {
+    /// Number of bodies.
+    pub bodies: usize,
+    /// Time-steps.
+    pub steps: u64,
+    /// Opening criterion (cell half-size / distance below which a cell's
+    /// center of mass approximates its bodies).
+    pub theta: f64,
+    /// Integration step.
+    pub dt: f64,
+    /// Seed for the initial configuration.
+    pub seed: u64,
+}
+
+impl BarnesParams {
+    /// A few dozen bodies — unit tests.
+    pub fn tiny() -> Self {
+        BarnesParams { bodies: 48, steps: 4, theta: 0.6, dt: 0.01, seed: 7 }
+    }
+
+    /// A few hundred bodies — integration tests.
+    pub fn small() -> Self {
+        BarnesParams { bodies: 192, steps: 6, theta: 0.6, dt: 0.01, seed: 7 }
+    }
+
+    /// The benchmark configuration (scaled from the paper's 256 k bodies /
+    /// 60 steps so a run takes seconds on a laptop).
+    pub fn paper_scaled() -> Self {
+        BarnesParams { bodies: 1536, steps: 40, theta: 0.7, dt: 0.05, seed: 7 }
+    }
+}
+
+/// Encoding of octree child slots: `>= 0` is a cell index, `-1` is empty,
+/// `<= -2` is body `-(v + 2)`.
+const EMPTY: i64 = -1;
+
+fn body_ref(i: usize) -> i64 {
+    -(i as i64 + 2)
+}
+
+fn body_idx(v: i64) -> usize {
+    (-v - 2) as usize
+}
+
+/// Local (plain) octree built by node 0 each step.
+struct Cell {
+    center: [f64; 3],
+    half: f64,
+    com: [f64; 4], // x, y, z, mass
+    child: [i64; 8],
+}
+
+fn octant(center: &[f64; 3], p: &[f64; 3]) -> usize {
+    ((p[0] > center[0]) as usize)
+        | (((p[1] > center[1]) as usize) << 1)
+        | (((p[2] > center[2]) as usize) << 2)
+}
+
+#[cfg(test)]
+fn build_tree(pos: &[[f64; 3]], mass: &[f64], half: f64) -> Vec<Cell> {
+    build_subtree(pos, mass, [0.0; 3], half, &(0..pos.len()).collect::<Vec<_>>())
+}
+
+/// Build the subtree rooted at (`center`, `half`) containing `bodies`
+/// (indices into `pos`). Cell 0 is the subtree root.
+fn build_subtree(
+    pos: &[[f64; 3]],
+    mass: &[f64],
+    center: [f64; 3],
+    half: f64,
+    bodies: &[usize],
+) -> Vec<Cell> {
+    let root = Cell { center, half, com: [0.0; 4], child: [EMPTY; 8] };
+    let mut cells = vec![root];
+    for &i in bodies {
+        let p = pos[i];
+        insert(&mut cells, 0, i, &p, pos);
+    }
+    compute_com(&mut cells, 0, pos, mass);
+    cells
+}
+
+fn insert(cells: &mut Vec<Cell>, cell: usize, body: usize, p: &[f64; 3], pos: &[[f64; 3]]) {
+    let oct = octant(&cells[cell].center, p);
+    match cells[cell].child[oct] {
+        EMPTY => cells[cell].child[oct] = body_ref(body),
+        v if v >= 0 => insert(cells, v as usize, body, p, pos),
+        v => {
+            // Occupied by a single body: split into a sub-cell.
+            let other = body_idx(v);
+            let (center, half) = {
+                let c = &cells[cell];
+                let h = c.half / 2.0;
+                let center = [
+                    c.center[0] + if oct & 1 != 0 { h } else { -h },
+                    c.center[1] + if oct & 2 != 0 { h } else { -h },
+                    c.center[2] + if oct & 4 != 0 { h } else { -h },
+                ];
+                (center, h)
+            };
+            // Degenerate case (coincident bodies): stop splitting at a
+            // minimal cell and chain the bodies into free slots instead.
+            if half < 1e-9 {
+                let c = &mut cells[cell];
+                if let Some(slot) = c.child.iter_mut().find(|s| **s == EMPTY) {
+                    *slot = body_ref(body);
+                }
+                return;
+            }
+            let new_idx = cells.len();
+            cells.push(Cell { center, half, com: [0.0; 4], child: [EMPTY; 8] });
+            cells[cell].child[oct] = new_idx as i64;
+            let other_p = pos[other];
+            insert(cells, new_idx, other, &other_p, pos);
+            insert(cells, new_idx, body, p, pos);
+        }
+    }
+}
+
+fn compute_com(cells: &mut [Cell], cell: usize, pos: &[[f64; 3]], mass: &[f64]) {
+    let child = cells[cell].child;
+    let mut com = [0.0f64; 4];
+    for v in child {
+        let (p, m) = match v {
+            EMPTY => continue,
+            v if v >= 0 => {
+                compute_com(cells, v as usize, pos, mass);
+                let c = &cells[v as usize].com;
+                ([c[0], c[1], c[2]], c[3])
+            }
+            v => {
+                let b = body_idx(v);
+                (pos[b], mass[b])
+            }
+        };
+        com[0] += p[0] * m;
+        com[1] += p[1] * m;
+        com[2] += p[2] * m;
+        com[3] += m;
+    }
+    if com[3] > 0.0 {
+        com[0] /= com[3];
+        com[1] /= com[3];
+        com[2] /= com[3];
+    }
+    cells[cell].com = com;
+}
+
+const SOFTENING2: f64 = 1e-4;
+
+fn pair_accel(from: &[f64; 3], to: &[f64; 3], m: f64, acc: &mut [f64; 3]) -> f64 {
+    let dx = to[0] - from[0];
+    let dy = to[1] - from[1];
+    let dz = to[2] - from[2];
+    let d2 = dx * dx + dy * dy + dz * dz + SOFTENING2;
+    let inv = 1.0 / (d2 * d2.sqrt());
+    acc[0] += m * dx * inv;
+    acc[1] += m * dy * inv;
+    acc[2] += m * dz * inv;
+    -m / d2.sqrt() // potential contribution
+}
+
+/// Shared-memory handles for the tree (homed on node 0).
+struct TreeArrays {
+    geom: SharedVec<[f64; 4]>,  // center xyz + half
+    com: SharedVec<[f64; 4]>,   // com xyz + mass
+    child: SharedVec<[i64; 8]>,
+    meta: SharedVec<u64>, // [0] = cell count
+}
+
+/// Run Barnes; every node returns the same bit-exact checksum of the final
+/// body positions.
+pub fn barnes(p: &mut Process, params: &BarnesParams) -> u64 {
+    let n = p.nodes();
+    let me = p.me();
+    let nb = params.bodies;
+    let max_cells = 3 * nb + 8;
+
+    let pos = p.alloc_vec::<[f64; 3]>(nb, HomeAlloc::Blocked);
+    let vel = p.alloc_vec::<[f64; 3]>(nb, HomeAlloc::Blocked);
+    let mass = p.alloc_vec::<f64>(nb, HomeAlloc::Blocked);
+    // Per-body state written every step (the original writes acceleration,
+    // potential and per-body work lists into shared memory too — this is
+    // what makes Barnes generate the largest volume of logs per byte of
+    // shared memory of the three applications).
+    let acc_arr = p.alloc_vec::<[f64; 3]>(nb, HomeAlloc::Blocked);
+    let phi = p.alloc_vec::<f64>(nb, HomeAlloc::Blocked);
+    let work = p.alloc_vec::<[f64; 16]>(nb, HomeAlloc::Blocked);
+    let tree = TreeArrays {
+        geom: p.alloc_vec(max_cells, HomeAlloc::Node(0)),
+        com: p.alloc_vec(max_cells, HomeAlloc::Node(0)),
+        child: p.alloc_vec(max_cells, HomeAlloc::Node(0)),
+        meta: p.alloc_vec(1, HomeAlloc::Node(0)),
+    };
+    // One reduction slot per node: the update is lock-protected (matching
+    // the original's global-sum locks) but each node only adds to its own
+    // slot, so the total — folded in node order — is bit-deterministic
+    // regardless of lock acquisition order.
+    let energy = p.alloc_vec::<f64>(n, HomeAlloc::Node(0));
+
+    let per = nb.div_ceil(n);
+    let b0 = (me * per).min(nb);
+    let b1 = ((me + 1) * per).min(nb);
+
+    // Initial configuration: a seeded Plummer-ish ball, written by the
+    // owners of each block (skipped when resuming from a checkpoint).
+    p.init_phase(|p| {
+        for i in b0..b1 {
+            let u = [
+                hash_unit(params.seed, 3 * i as u64),
+                hash_unit(params.seed, 3 * i as u64 + 1),
+                hash_unit(params.seed, 3 * i as u64 + 2),
+            ];
+            pos.set(p, i, [u[0] * 2.0 - 1.0, u[1] * 2.0 - 1.0, u[2] * 2.0 - 1.0]);
+            vel.set(p, i, [0.0, 0.0, 0.0]);
+            mass.set(p, i, 1.0 / nb as f64);
+        }
+    });
+
+    let mut state = 0u64;
+    let theta2 = params.theta * params.theta;
+    let dt = params.dt;
+    // Cell index space: cell 0 is the global root; each of the 8 root
+    // octants gets a fixed slice for its subtree.
+    let per_oct = (max_cells - 1) / 8;
+    p.run_steps(&mut state, params.steps, |p, _state, _step| {
+        // --- phase 1: parallel tree build -----------------------------------
+        // Every node snapshots the positions (one fetch per page) and
+        // builds the subtrees of its root octants into its cell slices.
+        let all_pos: Vec<[f64; 3]> = (0..nb).map(|i| pos.get(p, i)).collect();
+        let all_mass: Vec<f64> = (0..nb).map(|i| mass.get(p, i)).collect();
+        let bound = all_pos
+            .iter()
+            .flat_map(|q| q.iter())
+            .fold(1.0f64, |a, &x| a.max(x.abs()))
+            * 1.01;
+        let root_center = [0.0f64; 3];
+        for oct in (0..8).filter(|o| o % n == me) {
+            let h = bound / 2.0;
+            let center = [
+                root_center[0] + if oct & 1 != 0 { h } else { -h },
+                root_center[1] + if oct & 2 != 0 { h } else { -h },
+                root_center[2] + if oct & 4 != 0 { h } else { -h },
+            ];
+            let bodies: Vec<usize> = (0..nb)
+                .filter(|&i| octant(&root_center, &all_pos[i]) == oct)
+                .collect();
+            let cells = build_subtree(&all_pos, &all_mass, center, h, &bodies);
+            assert!(cells.len() <= per_oct, "octant subtree overflow: {}", cells.len());
+            let base = 1 + oct * per_oct;
+            for (ci, c) in cells.iter().enumerate() {
+                // Child cell indices are local to the subtree: offset them.
+                let mut child = c.child;
+                for v in child.iter_mut() {
+                    if *v >= 0 {
+                        *v += base as i64;
+                    }
+                }
+                let gi = base + ci;
+                tree.geom.set(p, gi, [c.center[0], c.center[1], c.center[2], c.half]);
+                tree.com.set(p, gi, c.com);
+                tree.child.set(p, gi, child);
+            }
+        }
+        if me == 0 {
+            for k in 0..n {
+                energy.set(p, k, 0.0);
+            }
+        }
+        p.barrier();
+
+        // --- phase 1b: node 0 assembles the root ----------------------------
+        if me == 0 {
+            let mut com = [0.0f64; 4];
+            let mut child = [EMPTY; 8];
+            for (oct, slot) in child.iter_mut().enumerate() {
+                let sub = 1 + oct * per_oct;
+                let sc = tree.com.get(p, sub);
+                if sc[3] > 0.0 {
+                    *slot = sub as i64;
+                    com[0] += sc[0] * sc[3];
+                    com[1] += sc[1] * sc[3];
+                    com[2] += sc[2] * sc[3];
+                    com[3] += sc[3];
+                }
+            }
+            if com[3] > 0.0 {
+                com[0] /= com[3];
+                com[1] /= com[3];
+                com[2] /= com[3];
+            }
+            tree.geom.set(p, 0, [0.0, 0.0, 0.0, bound]);
+            tree.com.set(p, 0, com);
+            tree.child.set(p, 0, child);
+            tree.meta.set(p, 0, max_cells as u64);
+        }
+        p.barrier();
+
+        // --- phase 2: force computation + energy reduction ------------------
+        let mut local_energy = 0.0f64;
+        let mut accels = vec![[0.0f64; 3]; b1 - b0];
+        for i in b0..b1 {
+            let pi = pos.get(p, i);
+            let mut acc = [0.0f64; 3];
+            // Iterative traversal, fixed order for determinism.
+            let mut stack = vec![0i64];
+            while let Some(v) = stack.pop() {
+                if v == EMPTY {
+                    continue;
+                }
+                if v < 0 {
+                    let b = body_idx(v);
+                    if b != i {
+                        let e = pair_accel(&pi, &all_pos[b], all_mass[b], &mut acc);
+                        local_energy += e;
+                    }
+                    continue;
+                }
+                let ci = v as usize;
+                let g = tree.geom.get(p, ci);
+                let com = tree.com.get(p, ci);
+                let dx = com[0] - pi[0];
+                let dy = com[1] - pi[1];
+                let dz = com[2] - pi[2];
+                let d2 = dx * dx + dy * dy + dz * dz + SOFTENING2;
+                if 4.0 * g[3] * g[3] < theta2 * d2 {
+                    let e = pair_accel(&pi, &[com[0], com[1], com[2]], com[3], &mut acc);
+                    local_energy += e;
+                } else {
+                    let ch = tree.child.get(p, ci);
+                    for &c in ch.iter().rev() {
+                        stack.push(c);
+                    }
+                }
+            }
+            acc_arr.set(p, i, acc);
+            phi.set(p, i, local_energy);
+            let mut w = [0.0f64; 16];
+            for (k, slot) in w.iter_mut().enumerate() {
+                *slot = acc[k % 3] * (k as f64 + 1.0) + pi[k % 3];
+            }
+            work.set(p, i, w);
+            accels[i - b0] = acc;
+        }
+        // Global diagnostic under a lock (original Barnes keeps global
+        // sums the same way).
+        p.acquire(1);
+        let e = energy.get(p, me);
+        energy.set(p, me, e + local_energy);
+        p.release(1);
+        p.barrier();
+
+        // --- phase 3: integrate own bodies ----------------------------------
+        for i in b0..b1 {
+            let a = accels[i - b0];
+            let mut v = vel.get(p, i);
+            let mut x = pos.get(p, i);
+            for k in 0..3 {
+                v[k] += a[k] * dt;
+                x[k] += v[k] * dt;
+            }
+            vel.set(p, i, v);
+            pos.set(p, i, x);
+        }
+        p.barrier();
+    });
+
+    p.barrier();
+    let mut sum = 0u64;
+    for i in 0..nb {
+        let x = pos.get(p, i);
+        sum = fold_f64(fold_f64(fold_f64(sum, x[0]), x[1]), x[2]);
+    }
+    for k in 0..n {
+        sum = fold_f64(sum, energy.get(p, k));
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_build_covers_all_bodies() {
+        let pos: Vec<[f64; 3]> = (0..32)
+            .map(|i| {
+                [
+                    hash_unit(1, i) * 2.0 - 1.0,
+                    hash_unit(2, i) * 2.0 - 1.0,
+                    hash_unit(3, i) * 2.0 - 1.0,
+                ]
+            })
+            .collect();
+        let mass = vec![1.0; 32];
+        let cells = build_tree(&pos, &mass, 1.01);
+        // Total mass at the root equals the sum of body masses.
+        assert!((cells[0].com[3] - 32.0).abs() < 1e-9);
+        // Count bodies reachable from the root.
+        let mut found = 0;
+        let mut stack = vec![0i64];
+        while let Some(v) = stack.pop() {
+            if v == EMPTY {
+                continue;
+            }
+            if v < 0 {
+                found += 1;
+            } else {
+                stack.extend(cells[v as usize].child);
+            }
+        }
+        assert_eq!(found, 32);
+    }
+
+    #[test]
+    fn coincident_bodies_do_not_recurse_forever() {
+        let pos = vec![[0.5, 0.5, 0.5]; 4];
+        let mass = vec![1.0; 4];
+        let cells = build_tree(&pos, &mass, 1.0);
+        assert!((cells[0].com[3] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn octant_selection() {
+        let c = [0.0, 0.0, 0.0];
+        assert_eq!(octant(&c, &[1.0, 1.0, 1.0]), 7);
+        assert_eq!(octant(&c, &[-1.0, -1.0, -1.0]), 0);
+        assert_eq!(octant(&c, &[1.0, -1.0, 1.0]), 5);
+    }
+}

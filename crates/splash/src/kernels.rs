@@ -1,0 +1,109 @@
+//! Synthetic kernels: regular and pathological sharing patterns used by the
+//! tests and the ablation benchmarks.
+
+use ftdsm::{HomeAlloc, Process};
+
+use crate::fold_f64;
+
+/// Parameters for the Jacobi 5-point stencil kernel.
+#[derive(Debug, Clone)]
+pub struct JacobiParams {
+    /// Grid side (rows == cols == side).
+    pub side: usize,
+    /// Sweeps to run.
+    pub steps: u64,
+}
+
+impl Default for JacobiParams {
+    fn default() -> Self {
+        JacobiParams { side: 64, steps: 10 }
+    }
+}
+
+/// Jacobi iteration on a square grid with row-blocked distribution:
+/// nearest-neighbor sharing at slab boundaries, two barriers per sweep.
+/// Returns a bit-exact checksum of the final grid.
+pub fn jacobi(p: &mut Process, params: &JacobiParams) -> u64 {
+    let n = p.nodes();
+    let me = p.me();
+    let side = params.side;
+    let a = p.alloc_vec::<f64>(side * side, HomeAlloc::Blocked);
+    let b = p.alloc_vec::<f64>(side * side, HomeAlloc::Blocked);
+
+    let rows_per = side.div_ceil(n);
+    let r0 = (me * rows_per).min(side);
+    let r1 = ((me + 1) * rows_per).min(side);
+
+    // Boundary condition: hot left edge, written once by its owners.
+    p.init_phase(|p| {
+        for r in r0..r1 {
+            a.set(p, r * side, 100.0);
+            b.set(p, r * side, 100.0);
+        }
+    });
+
+    let mut state = 0u64;
+    p.run_steps(&mut state, params.steps, |p, _state, step| {
+        let (src, dst) = if step % 2 == 0 { (&a, &b) } else { (&b, &a) };
+        for r in r0.max(1)..r1.min(side - 1) {
+            for c in 1..side - 1 {
+                let v = 0.25
+                    * (src.get(p, (r - 1) * side + c)
+                        + src.get(p, (r + 1) * side + c)
+                        + src.get(p, r * side + c - 1)
+                        + src.get(p, r * side + c + 1));
+                dst.set(p, r * side + c, v);
+            }
+        }
+        p.barrier();
+    });
+
+    p.barrier();
+    let fin = if params.steps.is_multiple_of(2) { &a } else { &b };
+    let mut sum = 0u64;
+    for i in 0..side * side {
+        sum = fold_f64(sum, fin.get(p, i));
+    }
+    sum
+}
+
+/// Migratory-data kernel: a cache line of counters chases a single lock
+/// around the cluster. Returns the final total.
+pub fn migratory(p: &mut Process, rounds: u64) -> u64 {
+    let cell = p.alloc_vec::<u64>(8, HomeAlloc::Node(0));
+    let mut state = 0u64;
+    p.run_steps(&mut state, rounds, |p, _state, _step| {
+        p.acquire(0);
+        for i in 0..8 {
+            let v = cell.get(p, i);
+            cell.set(p, i, v + p.me() as u64 + 1);
+        }
+        p.release(0);
+        p.barrier();
+    });
+    p.barrier();
+    (0..8).map(|i| cell.get(p, i)).sum()
+}
+
+/// Producer/consumer kernel: node 0 fills a buffer each round, every other
+/// node sums it. Returns each node's accumulated sum (node 0 returns the
+/// expected value so all results match).
+pub fn producer_consumer(p: &mut Process, rounds: u64, items: usize) -> u64 {
+    let buf = p.alloc_vec::<u64>(items, HomeAlloc::Node(0));
+    let mut acc = 0u64;
+    p.run_steps(&mut acc, rounds, |p, acc, round| {
+        if p.me() == 0 {
+            for i in 0..items {
+                buf.set(p, i, round * items as u64 + i as u64);
+            }
+        }
+        p.barrier();
+        let mut s = 0u64;
+        for i in 0..items {
+            s += buf.get(p, i);
+        }
+        *acc += s;
+        p.barrier();
+    });
+    acc
+}

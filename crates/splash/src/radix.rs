@@ -1,0 +1,119 @@
+//! Radix — parallel radix sort, after SPLASH-2 `radix`.
+//!
+//! Sorts an array of integer keys one digit at a time. Each pass: nodes
+//! histogram their block of keys (local work), publish per-node histograms,
+//! compute global digit offsets from everyone's histograms (all-to-all read
+//! sharing of small arrays), and permute their keys into the destination
+//! array (scattered remote writes — the pattern that distinguishes radix
+//! from the stencil/MD codes: most writes land on pages homed elsewhere).
+
+use ftdsm::{HomeAlloc, Process};
+
+use crate::hash_unit;
+
+/// Radix-sort parameters.
+#[derive(Debug, Clone)]
+pub struct RadixParams {
+    /// Number of keys.
+    pub keys: usize,
+    /// Radix bits per pass.
+    pub bits: u32,
+    /// Total key bits (passes = key_bits / bits).
+    pub key_bits: u32,
+    /// Seed for the input keys.
+    pub seed: u64,
+}
+
+impl RadixParams {
+    /// Unit-test scale.
+    pub fn tiny() -> Self {
+        RadixParams { keys: 256, bits: 4, key_bits: 16, seed: 77 }
+    }
+
+    /// Benchmark scale.
+    pub fn paper_scaled() -> Self {
+        RadixParams { keys: 8192, bits: 8, key_bits: 24, seed: 77 }
+    }
+}
+
+/// Run the radix sort; every node returns the same checksum of the sorted
+/// keys (which the function also verifies are non-decreasing).
+pub fn radix(p: &mut Process, params: &RadixParams) -> u64 {
+    let n = p.nodes();
+    let me = p.me();
+    let nk = params.keys;
+    let buckets = 1usize << params.bits;
+    let passes = params.key_bits.div_ceil(params.bits);
+
+    // Double-buffered key arrays; per-node histograms.
+    let a = p.alloc_vec::<u64>(nk, HomeAlloc::Blocked);
+    let b = p.alloc_vec::<u64>(nk, HomeAlloc::Blocked);
+    let hist = p.alloc_vec::<u64>(n * buckets, HomeAlloc::Interleaved);
+
+    let per = nk.div_ceil(n);
+    let k0 = (me * per).min(nk);
+    let k1 = ((me + 1) * per).min(nk);
+
+    p.init_phase(|p| {
+        for i in k0..k1 {
+            let key =
+                (hash_unit(params.seed, i as u64) * (1u64 << params.key_bits) as f64) as u64;
+            a.set(p, i, key);
+        }
+    });
+
+    let mut state = 0u64;
+    p.run_steps(&mut state, passes as u64, |p, _state, pass| {
+        let (src, dst) = if pass % 2 == 0 { (&a, &b) } else { (&b, &a) };
+        let shift = pass as u32 * params.bits;
+        let mask = (buckets - 1) as u64;
+
+        // Phase 1: local histogram, published to this node's slots.
+        let keys: Vec<u64> = (k0..k1).map(|i| src.get(p, i)).collect();
+        let mut local = vec![0u64; buckets];
+        for &k in &keys {
+            local[((k >> shift) & mask) as usize] += 1;
+        }
+        for (d, &c) in local.iter().enumerate() {
+            hist.set(p, me * buckets + d, c);
+        }
+        p.barrier();
+
+        // Phase 2: global offsets. Keys of digit d from node r go after all
+        // keys with smaller digits and after same-digit keys of lower ranks
+        // (a stable, deterministic placement).
+        let all: Vec<u64> = (0..n * buckets).map(|i| hist.get(p, i)).collect();
+        let mut offset = vec![0u64; buckets];
+        let mut running = 0u64;
+        for (d, slot) in offset.iter_mut().enumerate() {
+            for r in 0..n {
+                if r == me {
+                    *slot = running;
+                }
+                running += all[r * buckets + d];
+            }
+        }
+
+        // Phase 3: permute own keys into the destination array (scattered
+        // writes to remote-homed pages).
+        let mut cursor = offset;
+        for &k in &keys {
+            let d = ((k >> shift) & mask) as usize;
+            dst.set(p, cursor[d] as usize, k);
+            cursor[d] += 1;
+        }
+        p.barrier();
+    });
+
+    p.barrier();
+    let fin = if passes % 2 == 0 { &a } else { &b };
+    let mut sum = 0u64;
+    let mut prev = 0u64;
+    for i in 0..nk {
+        let k = fin.get(p, i);
+        assert!(k >= prev, "radix output not sorted at index {i}");
+        prev = k;
+        sum = sum.rotate_left(5) ^ k.wrapping_mul(0x9E3779B97F4A7C15);
+    }
+    sum
+}

@@ -1,0 +1,240 @@
+//! Water-Spatial — cell-decomposition molecular dynamics, after SPLASH-2
+//! `water-spatial`.
+//!
+//! The same physical problem as Water-Nsquared solved with a 3-D spatial
+//! cell grid: molecules only interact with the 27-cell neighborhood, so a
+//! node owning a slab of cells shares only slab-boundary pages with its
+//! neighbors. This gives the original its large, regular footprint and its
+//! very regular per-iteration update pattern (in the paper, the
+//! log-overflow policy checkpoints it every iteration and trimming settles
+//! into a steady state after three checkpoints).
+
+use ftdsm::{HomeAlloc, Process};
+
+use crate::{fold_f64, hash_unit};
+
+/// Water-Spatial parameters.
+#[derive(Debug, Clone)]
+pub struct WaterSpParams {
+    /// Cells per side (grid is side³).
+    pub side: usize,
+    /// Molecules per cell.
+    pub per_cell: usize,
+    /// Time-steps.
+    pub steps: u64,
+    /// Integration step.
+    pub dt: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl WaterSpParams {
+    /// Unit-test scale.
+    pub fn tiny() -> Self {
+        WaterSpParams { side: 4, per_cell: 2, steps: 3, dt: 1e-4, seed: 23 }
+    }
+
+    /// Integration-test scale.
+    pub fn small() -> Self {
+        WaterSpParams { side: 6, per_cell: 2, steps: 4, dt: 1e-4, seed: 23 }
+    }
+
+    /// Benchmark scale (the paper ran 256 k molecules; the footprint here
+    /// is deliberately the largest of the three applications, as there).
+    pub fn paper_scaled() -> Self {
+        WaterSpParams { side: 10, per_cell: 4, steps: 8, dt: 1e-4, seed: 23 }
+    }
+}
+
+/// Run Water-Spatial; every node returns the same checksum.
+pub fn water_sp(p: &mut Process, params: &WaterSpParams) -> u64 {
+    let n = p.nodes();
+    let me = p.me();
+    let side = params.side;
+    let pc = params.per_cell;
+    let cells = side * side * side;
+    let nm = cells * pc;
+    let cell_w = 1.0 / side as f64;
+
+    // Molecule arrays indexed cell-major: molecule k of cell c is at
+    // c * per_cell + k. Blocked distribution assigns contiguous z-slabs of
+    // cells to nodes (cells are numbered z-major).
+    let pos = p.alloc_vec::<[f64; 3]>(nm, HomeAlloc::Blocked);
+    let vel = p.alloc_vec::<[f64; 3]>(nm, HomeAlloc::Blocked);
+    // Read-mostly per-molecule descriptors (see water_nsq): the bulk of the
+    // footprint, written once. Water-Spatial has the largest footprint of
+    // the three applications, as in the paper.
+    const DESC: usize = 40;
+    let desc = p.alloc_vec::<f64>(nm * DESC, HomeAlloc::Blocked);
+    // Per-node reduction slots under a lock (see water_nsq for rationale).
+    let reductions = p.alloc_vec::<f64>(n, HomeAlloc::Node(0));
+
+    // Slab ownership over the z axis (balanced split: every node owns at
+    // least one slab when side >= n).
+    let z0 = me * side / n;
+    let z1 = (me + 1) * side / n;
+    let cell_of = |x: usize, y: usize, z: usize| (z * side + y) * side + x;
+
+    p.init_phase(|p| {
+        for z in z0..z1 {
+            for y in 0..side {
+                for x in 0..side {
+                    let c = cell_of(x, y, z);
+                    for k in 0..pc {
+                        let i = c * pc + k;
+                        // Place molecules inside their cell with a jitter.
+                        let j = |d: u64| hash_unit(params.seed, 3 * i as u64 + d) * 0.9 + 0.05;
+                        pos.set(
+                            p,
+                            i,
+                            [
+                                (x as f64 + j(0)) * cell_w,
+                                (y as f64 + j(1)) * cell_w,
+                                (z as f64 + j(2)) * cell_w,
+                            ],
+                        );
+                        vel.set(p, i, [0.0, 0.0, 0.0]);
+                    }
+                }
+            }
+        }
+        for z in z0..z1 {
+            for y in 0..side {
+                for x in 0..side {
+                    let c = cell_of(x, y, z);
+                    for k in 0..pc {
+                        let i = c * pc + k;
+                        for d in 0..DESC {
+                            desc.set(
+                                p,
+                                i * DESC + d,
+                                hash_unit(params.seed ^ 0xA7, (i * DESC + d) as u64),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        reductions.set(p, me, 0.0);
+    });
+
+    let dt = params.dt;
+    let cutoff2 = (cell_w * 0.9) * (cell_w * 0.9);
+    let mut state = 0u64;
+    p.run_steps(&mut state, params.steps, |p, _state, _step| {
+        let mut pot = 0.0f64;
+        let mut forces = vec![[0.0f64; 3]; (z1 - z0) * side * side * pc];
+        let base = cell_of(0, 0, z0) * pc;
+        for z in z0..z1 {
+            for y in 0..side {
+                for x in 0..side {
+                    let c = cell_of(x, y, z);
+                    for k in 0..pc {
+                        let i = c * pc + k;
+                        let pi = pos.get(p, i);
+                        let dscale =
+                            1.0 + 1e-6 * desc.get(p, i * DESC + (_step as usize % DESC));
+                        let f = &mut forces[i - base];
+                        // 27-cell neighborhood, periodic.
+                        for dz in -1i64..=1 {
+                            for dy in -1i64..=1 {
+                                for dx in -1i64..=1 {
+                                    let nx = (x as i64 + dx).rem_euclid(side as i64) as usize;
+                                    let ny = (y as i64 + dy).rem_euclid(side as i64) as usize;
+                                    let nz = (z as i64 + dz).rem_euclid(side as i64) as usize;
+                                    let nc = cell_of(nx, ny, nz);
+                                    for nk in 0..pc {
+                                        let j = nc * pc + nk;
+                                        if j == i {
+                                            continue;
+                                        }
+                                        let pj = pos.get(p, j);
+                                        let mut d = [0.0f64; 3];
+                                        let mut d2 = 0.0;
+                                        for (a, v) in d.iter_mut().enumerate() {
+                                            let mut dd = pj[a] - pi[a];
+                                            if dd > 0.5 {
+                                                dd -= 1.0;
+                                            } else if dd < -0.5 {
+                                                dd += 1.0;
+                                            }
+                                            *v = dd;
+                                            d2 += dd * dd;
+                                        }
+                                        if d2 >= cutoff2 || d2 < 1e-12 {
+                                            continue;
+                                        }
+                                        // Soft repulsive pair force.
+                                        let inv = dscale * 1e-6 / (d2 * d2);
+                                        for (a, dd) in d.iter().enumerate() {
+                                            f[a] -= inv * dd;
+                                        }
+                                        pot += 0.5 * inv * d2;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        p.acquire(4);
+        let e = reductions.get(p, me);
+        reductions.set(p, me, e + pot);
+        p.release(4);
+        // Phase barrier: reads of neighbor slabs complete before any
+        // position is rewritten.
+        p.barrier();
+
+        // Integrate own molecules (positions stay within their cell's
+        // vicinity for the short runs we do; ownership is static, like the
+        // original between its re-binning phases).
+        for z in z0..z1 {
+            for y in 0..side {
+                for x in 0..side {
+                    let c = cell_of(x, y, z);
+                    for k in 0..pc {
+                        let i = c * pc + k;
+                        let f = forces[i - base];
+                        let mut v = vel.get(p, i);
+                        let mut q = pos.get(p, i);
+                        for a in 0..3 {
+                            v[a] += f[a] * dt;
+                            q[a] = (q[a] + v[a] * dt).rem_euclid(1.0);
+                        }
+                        vel.set(p, i, v);
+                        pos.set(p, i, q);
+                    }
+                }
+            }
+        }
+        p.barrier();
+    });
+
+    p.barrier();
+    let mut sum = 0u64;
+    for i in 0..nm {
+        let x = pos.get(p, i);
+        sum = fold_f64(fold_f64(fold_f64(sum, x[0]), x[1]), x[2]);
+    }
+    for k in 0..n {
+        sum = fold_f64(sum, reductions.get(p, k));
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scaled_footprint_is_largest_of_the_three() {
+        let sp = WaterSpParams::paper_scaled();
+        let sp_bytes = sp.side.pow(3) * sp.per_cell * 48;
+        let nsq_bytes = crate::WaterNsqParams::paper_scaled().molecules * 48;
+        let barnes_bytes = crate::BarnesParams::paper_scaled().bodies * 56;
+        assert!(sp_bytes > barnes_bytes, "{sp_bytes} vs {barnes_bytes}");
+        assert!(barnes_bytes > nsq_bytes, "{barnes_bytes} vs {nsq_bytes}");
+    }
+}

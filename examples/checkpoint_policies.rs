@@ -1,0 +1,47 @@
+//! Compare checkpoint policies on one workload.
+//!
+//! Shows how the paper's log-overflow policy `OF(L)` trades checkpoint
+//! frequency against retained log volume, next to periodic and manual
+//! policies.
+//!
+//! ```text
+//! cargo run --release --example checkpoint_policies
+//! ```
+
+use ftdsm_suite::apps::{jacobi, JacobiParams};
+use ftdsm_suite::{run, CkptPolicy, ClusterConfig, DiskMode, DiskModel};
+
+fn main() {
+    let policies: Vec<(&str, CkptPolicy)> = vec![
+        ("OF(L=0.05)", CkptPolicy::LogOverflow { l: 0.05 }),
+        ("OF(L=0.2)", CkptPolicy::LogOverflow { l: 0.2 }),
+        ("OF(L=1.0)", CkptPolicy::LogOverflow { l: 1.0 }),
+        ("every 2 steps", CkptPolicy::EverySteps(2)),
+        ("every 8 steps", CkptPolicy::EverySteps(8)),
+        ("never", CkptPolicy::Never),
+    ];
+
+    println!(
+        "{:<16} {:>6} {:>14} {:>16} {:>6}",
+        "policy", "ckpts", "disk (KB)", "max log (KB)", "Wmax"
+    );
+    for (name, policy) in policies {
+        let cfg = ClusterConfig::fault_tolerant(4)
+            .with_policy(policy)
+            .with_disk(DiskModel::scsi_1999(0.1, DiskMode::Stall));
+        let report = run(cfg, &[], |p| {
+            jacobi(p, &JacobiParams { side: 48, steps: 16 })
+        });
+        let disk: u64 = report.nodes.iter().map(|n| n.ft.store.bytes_written).sum();
+        let max_log: u64 =
+            report.nodes.iter().map(|n| n.ft.max_stable_log_bytes).max().unwrap_or(0);
+        println!(
+            "{:<16} {:>6} {:>14.1} {:>16.1} {:>6}",
+            name,
+            report.total_ckpts(),
+            disk as f64 / 1024.0,
+            max_log as f64 / 1024.0,
+            report.max_ckpt_window()
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Barnes-Hut N-body on the DSM, with protocol statistics.
+//!
+//! ```text
+//! cargo run --release --example nbody [-- <bodies> <steps>]
+//! ```
+
+use ftdsm_suite::apps::{barnes, BarnesParams};
+use ftdsm_suite::{run, ClusterConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bodies: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(512);
+    let steps: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let params = BarnesParams { bodies, steps, ..BarnesParams::small() };
+
+    println!("Barnes-Hut: {bodies} bodies, {steps} steps, 4 nodes");
+    let report = run(ClusterConfig::base(4), &[], move |p| barnes(p, &params));
+
+    let first = report.results[0];
+    assert!(
+        report.results.iter().all(|&c| c == first),
+        "nodes disagree on the final state"
+    );
+    println!("final-state checksum: {first:#018x} (identical on every node)");
+    println!("wall time: {:?}", report.wall);
+    println!("shared space: {:.2} MB", report.shared_bytes as f64 / 1048576.0);
+
+    let t = report.total_traffic();
+    println!(
+        "traffic: {} messages, {:.2} MB",
+        t.msgs_sent,
+        t.base_bytes_sent as f64 / 1048576.0
+    );
+    let b = report.total_breakdown();
+    println!(
+        "time breakdown (all nodes): compute {:?}, page wait {:?}, lock wait {:?}, barrier wait {:?}",
+        b.compute(),
+        b.page_wait,
+        b.lock_wait,
+        b.barrier_wait
+    );
+}

@@ -1,0 +1,9 @@
+//! Workspace umbrella crate: re-exports the public API of the fault-tolerant
+//! DSM so that the top-level `examples/` and `tests/` can use a single path.
+
+pub use dsm_net as net;
+pub use dsm_page as page;
+pub use dsm_storage as storage;
+pub use ftdsm::*;
+pub use hlrc as protocol;
+pub use splash as apps;

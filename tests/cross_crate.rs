@@ -1,0 +1,97 @@
+//! Workspace-level integration: the full stack (net + page + storage +
+//! protocol + FT + workloads) exercised through the umbrella crate.
+
+use ftdsm_suite::apps::{
+    barnes, jacobi, water_nsq, water_sp, BarnesParams, JacobiParams, WaterNsqParams,
+    WaterSpParams,
+};
+use ftdsm_suite::{run, CkptPolicy, ClusterConfig, FailureSpec, HomeAlloc};
+
+#[test]
+fn all_workloads_agree_across_cluster_sizes() {
+    // Each workload must produce node-identical checksums for any cluster
+    // size (the checksum itself may differ between sizes because work
+    // partitioning changes float accumulation order per node).
+    for n in [2, 3, 5] {
+        let cfg = ClusterConfig::base(n).with_page_size(1024);
+        let r = run(cfg, &[], |p| {
+            (
+                barnes(p, &BarnesParams::tiny()),
+                water_nsq(p, &WaterNsqParams::tiny()),
+                water_sp(p, &WaterSpParams::tiny()),
+                jacobi(p, &JacobiParams { side: 24, steps: 4 }),
+            )
+        });
+        let first = r.results[0];
+        assert!(
+            r.results.iter().all(|c| *c == first),
+            "{n}-node cluster disagrees: {:?}",
+            r.results
+        );
+    }
+}
+
+#[test]
+fn page_size_does_not_change_results() {
+    let run_with = |page: usize| {
+        let cfg = ClusterConfig::base(4).with_page_size(page);
+        run(cfg, &[], |p| water_sp(p, &WaterSpParams::tiny())).results[0]
+    };
+    let a = run_with(256);
+    let b = run_with(1024);
+    let c = run_with(4096);
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+}
+
+#[test]
+fn ft_with_small_pages_recovers_barnes() {
+    let cfg = || {
+        ClusterConfig::fault_tolerant(4)
+            .with_page_size(512)
+            .with_policy(CkptPolicy::EverySteps(2))
+    };
+    let clean = run(cfg(), &[], |p| barnes(p, &BarnesParams::tiny()));
+    let crashed = run(cfg(), &[FailureSpec { node: 1, at_op: 600 }], |p| {
+        barnes(p, &BarnesParams::tiny())
+    });
+    assert_eq!(clean.results, crashed.results);
+    assert_eq!(clean.shared_hash, crashed.shared_hash);
+    assert_eq!(crashed.nodes[1].ft.recoveries, 1);
+}
+
+#[test]
+fn mixed_kernel_with_many_locks_and_crash() {
+    // A kernel contending on several locks managed by different nodes, with
+    // a crash of one lock manager.
+    let app = |p: &mut ftdsm_suite::Process| {
+        let n = p.nodes();
+        let cells = p.alloc_vec::<u64>(16, HomeAlloc::Interleaved);
+        let mut state = 0u64;
+        p.run_steps(&mut state, 10, |p, state, step| {
+            for lock in 0..4usize {
+                p.acquire(lock);
+                let idx = lock * 4 + (step as usize % 4);
+                let v = cells.get(p, idx);
+                cells.set(p, idx, v + p.me() as u64 + 1);
+                p.release(lock);
+            }
+            *state += step;
+            p.barrier();
+        });
+        p.barrier();
+        (0..16).map(|i| cells.get(p, i)).sum::<u64>() + state * n as u64
+    };
+    let cfg = || {
+        ClusterConfig::fault_tolerant(4)
+            .with_page_size(256)
+            .with_policy(CkptPolicy::EverySteps(3))
+    };
+    let clean = run(cfg(), &[], app);
+    for victim in 0..4 {
+        let crashed = run(cfg(), &[FailureSpec { node: victim, at_op: 150 }], app);
+        assert_eq!(clean.results, crashed.results, "victim {victim}");
+        assert_eq!(clean.shared_hash, crashed.shared_hash, "victim {victim}");
+        assert_eq!(crashed.nodes[victim].ft.recoveries, 1, "victim {victim}");
+    }
+}
