@@ -23,9 +23,7 @@ fn bench_diff(c: &mut Criterion) {
         let (twin, cur) = dirty_page(4096, dirty);
         g.throughput(Throughput::Bytes(4096));
         g.bench_with_input(BenchmarkId::new("create_4k", dirty), &dirty, |b, _| {
-            b.iter(|| {
-                Diff::create(PageId(0), Interval { proc: 0, seq: 1 }, &twin, &cur)
-            })
+            b.iter(|| Diff::create(PageId(0), Interval { proc: 0, seq: 1 }, &twin, &cur))
         });
         let diff = Diff::create(PageId(0), Interval { proc: 0, seq: 1 }, &twin, &cur).unwrap();
         let mut target = twin.clone();
@@ -88,7 +86,13 @@ fn bench_checkpoint_codec(c: &mut Criterion) {
         tenures: vec![(3, 7, true), (9, 2, false)],
         last_release_vts: vec![(3, VectorClock::from_vec(vec![9; 8]))],
         home_pages: (0..32)
-            .map(|i| (PageId(i), VectorClock::from_vec(vec![i; 8]), vec![0u8; 4096]))
+            .map(|i| {
+                (
+                    PageId(i),
+                    VectorClock::from_vec(vec![i; 8]),
+                    vec![0u8; 4096],
+                )
+            })
             .collect(),
     };
     let encoded = blob.encode();

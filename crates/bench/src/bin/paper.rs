@@ -5,11 +5,10 @@
 //! cargo run -p dsm-bench --release --bin paper -- table3
 //! cargo run -p dsm-bench --release --bin paper -- fig4 --nodes 8 --disk-scale 8
 //! cargo run -p dsm-bench --release --bin paper -- ablate
+//! cargo run -p dsm-bench --release --bin paper -- hist
 //! ```
 
-use dsm_bench::{
-    fig3, fig4, print_table, run_app, table1, table2, table3, table4, App, Scale,
-};
+use dsm_bench::{fig3, fig4, print_table, run_app, table1, table2, table3, table4, App, Scale};
 use ftdsm::{run, CkptPolicy, ClusterConfig, DiskMode, DiskModel, FailureSpec};
 
 fn parse_args() -> (Vec<String>, Scale) {
@@ -18,15 +17,16 @@ fn parse_args() -> (Vec<String>, Scale) {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--nodes" => {
-                scale.nodes = args.next().expect("--nodes N").parse().expect("node count")
-            }
+            "--nodes" => scale.nodes = args.next().expect("--nodes N").parse().expect("node count"),
             "--disk-scale" => {
-                scale.disk_time_scale =
-                    args.next().expect("--disk-scale X").parse().expect("scale")
+                scale.disk_time_scale = args.next().expect("--disk-scale X").parse().expect("scale")
             }
             "--page" => {
-                scale.page_size = args.next().expect("--page BYTES").parse().expect("page size")
+                scale.page_size = args
+                    .next()
+                    .expect("--page BYTES")
+                    .parse()
+                    .expect("page size")
             }
             other => cmds.push(other.to_string()),
         }
@@ -54,6 +54,7 @@ fn main() {
             "ablate" => do_ablate(&scale),
             "sweep" => do_sweep(&scale),
             "recover" => do_recover(&scale),
+            "hist" => do_hist(&scale),
             "all" => {
                 do_table1(&scale);
                 do_table2(&scale);
@@ -90,7 +91,12 @@ fn do_table2(scale: &Scale) {
     let rows = table2(scale);
     print_table(
         "Table 2: message traffic overhead of CGC and LLT",
-        &["Application", "HLRC traffic (MB)", "CGC traffic (MB)", "% overhead"],
+        &[
+            "Application",
+            "HLRC traffic (MB)",
+            "CGC traffic (MB)",
+            "% overhead",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -197,7 +203,9 @@ fn do_fig4(scale: &Scale) {
             let unbounded = slope * *ckpt as f64;
             println!(
                 "  ckpt {ckpt:>3}: {mb:8.3} MB  (no-LLT line: {unbounded:8.3} MB)  {}",
-                "*".repeat((mb * 40.0 / (slope * s.points.len() as f64).max(0.001)).min(60.0) as usize)
+                "*".repeat(
+                    (mb * 40.0 / (slope * s.points.len() as f64).max(0.001)).min(60.0) as usize
+                )
             );
         }
     }
@@ -240,23 +248,102 @@ fn do_recover(scale: &Scale) {
         let at_op = (clean.nodes[victim].ops * 2) / 3;
         let crashed = run(
             scale.ft_config(app),
-            &[FailureSpec { node: victim, at_op }],
+            &[FailureSpec {
+                node: victim,
+                at_op,
+            }],
             move |p| app.run_scaled(p),
         );
-        assert_eq!(clean.shared_hash, crashed.shared_hash, "{}: recovery diverged", app.name());
+        assert_eq!(
+            clean.shared_hash,
+            crashed.shared_hash,
+            "{}: recovery diverged",
+            app.name()
+        );
         rows.push(vec![
             app.name().to_string(),
             at_op.to_string(),
             format!("{}", crashed.nodes[victim].ft.recoveries),
-            format!("{:.3}", crashed.nodes[victim].ft.recovery_time.as_secs_f64()),
+            format!(
+                "{:.3}",
+                crashed.nodes[victim].ft.recovery_time.as_secs_f64()
+            ),
             format!("{:.3}", clean.wall.as_secs_f64()),
             format!("{:.3}", crashed.wall.as_secs_f64()),
         ]);
     }
     print_table(
         "recovery cost (results verified bit-identical)",
-        &["Application", "Crash op", "Recoveries", "Recovery (s)", "Clean wall (s)", "Crashed wall (s)"],
+        &[
+            "Application",
+            "Crash op",
+            "Recoveries",
+            "Recovery (s)",
+            "Clean wall (s)",
+            "Crashed wall (s)",
+        ],
         &rows,
+    );
+}
+
+/// Render a nanosecond figure with a readable unit.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+fn print_hists(title: &str, hists: &dsm_trace::LatencyHists) {
+    println!("\n{title}:");
+    println!(
+        "  {:<16} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "metric", "count", "mean", "p50", "p95", "max"
+    );
+    for (name, h) in hists.named() {
+        if h.count() == 0 {
+            continue;
+        }
+        println!(
+            "  {:<16} {:>8} {:>9} {:>9} {:>9} {:>9}",
+            name,
+            h.count(),
+            fmt_ns(h.mean()),
+            fmt_ns(h.quantile(0.5)),
+            fmt_ns(h.quantile(0.95)),
+            fmt_ns(h.max()),
+        );
+    }
+}
+
+/// Protocol latency histograms (page fetch, lock wait, barrier wait, diff
+/// apply, checkpoint write, recovery phases), clean and crashed runs.
+fn do_hist(scale: &Scale) {
+    println!("\n=== Protocol latency histograms (log2-bucketed, ns) ===");
+    let clean = run_app(App::WaterSp, scale.ft_config(App::WaterSp));
+    print_hists(
+        "Water-Spatial, FT, clean run (all nodes merged)",
+        &clean.total_hists(),
+    );
+    let victim = 2usize.min(scale.nodes - 1);
+    let at_op = (clean.nodes[victim].ops * 2) / 3;
+    let crashed = run(
+        scale.ft_config(App::WaterSp),
+        &[FailureSpec {
+            node: victim,
+            at_op,
+        }],
+        move |p| App::WaterSp.run_scaled(p),
+    );
+    print_hists(
+        &format!("Water-Spatial, FT, node {victim} crashed at op {at_op}"),
+        &crashed.total_hists(),
+    );
+    print_hists(
+        &format!("  recovery detail, victim node {victim} only"),
+        &crashed.nodes[victim].hists,
     );
 }
 
@@ -271,7 +358,11 @@ fn do_ablate(scale: &Scale) {
     // Wall times at this scale are noisy; take the best of three base runs
     // as the reference.
     let base_s = (0..3)
-        .map(|_| run_app(App::WaterSp, scale.base_config()).wall.as_secs_f64())
+        .map(|_| {
+            run_app(App::WaterSp, scale.base_config())
+                .wall
+                .as_secs_f64()
+        })
         .fold(f64::INFINITY, f64::min);
     let mut rows = Vec::new();
     let policies: Vec<(String, CkptPolicy)> = vec![
@@ -285,8 +376,17 @@ fn do_ablate(scale: &Scale) {
     ];
     for (name, policy) in policies {
         let r = run_app(App::WaterSp, mk(policy));
-        let max_log: u64 = r.nodes.iter().map(|x| x.ft.max_stable_log_bytes).max().unwrap_or(0);
-        let volatile: u64 = r.nodes.iter().map(|x| x.ft.log_counters.created_bytes).sum();
+        let max_log: u64 = r
+            .nodes
+            .iter()
+            .map(|x| x.ft.max_stable_log_bytes)
+            .max()
+            .unwrap_or(0);
+        let volatile: u64 = r
+            .nodes
+            .iter()
+            .map(|x| x.ft.log_counters.created_bytes)
+            .sum();
         rows.push(vec![
             name,
             r.total_ckpts().to_string(),
@@ -298,7 +398,14 @@ fn do_ablate(scale: &Scale) {
     }
     print_table(
         "policy ablation (Water-Spatial)",
-        &["Policy", "Ckpts", "% time incr", "Max stable log (MB)", "Logs created (MB)", "Wmax"],
+        &[
+            "Policy",
+            "Ckpts",
+            "% time incr",
+            "Max stable log (MB)",
+            "Logs created (MB)",
+            "Wmax",
+        ],
         &rows,
     );
 
@@ -313,9 +420,18 @@ fn do_ablate(scale: &Scale) {
         .fold(f64::INFINITY, f64::min);
     let mut rows = Vec::new();
     for (name, policy) in [
-        ("OF L=1.0 (paper)".to_string(), CkptPolicy::LogOverflow { l: 1.0 }),
-        ("at every 20th barrier".to_string(), CkptPolicy::AtBarrier(20)),
-        ("at every 40th barrier".to_string(), CkptPolicy::AtBarrier(40)),
+        (
+            "OF L=1.0 (paper)".to_string(),
+            CkptPolicy::LogOverflow { l: 1.0 },
+        ),
+        (
+            "at every 20th barrier".to_string(),
+            CkptPolicy::AtBarrier(20),
+        ),
+        (
+            "at every 40th barrier".to_string(),
+            CkptPolicy::AtBarrier(40),
+        ),
     ] {
         let r = run_app(App::Barnes, mk(policy));
         rows.push(vec![
@@ -342,7 +458,11 @@ fn do_ablate(scale: &Scale) {
             .with_disk(DiskModel::scsi_1999(scale.disk_time_scale, DiskMode::Stall));
         let r = run_app(App::WaterSp, cfg);
         let t = r.total_traffic();
-        let created: u64 = r.nodes.iter().map(|x| x.ft.log_counters.created_bytes).sum();
+        let created: u64 = r
+            .nodes
+            .iter()
+            .map(|x| x.ft.log_counters.created_bytes)
+            .sum();
         rows.push(vec![
             page.to_string(),
             format!("{:.2}", r.wall.as_secs_f64()),
@@ -354,7 +474,14 @@ fn do_ablate(scale: &Scale) {
     }
     print_table(
         "page-size ablation (Water-Spatial, OF L=0.1)",
-        &["Page (B)", "Time (s)", "Messages", "Traffic (MB)", "Logs created (MB)", "Ckpts"],
+        &[
+            "Page (B)",
+            "Time (s)",
+            "Messages",
+            "Traffic (MB)",
+            "Logs created (MB)",
+            "Ckpts",
+        ],
         &rows,
     );
 }

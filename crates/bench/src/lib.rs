@@ -84,7 +84,11 @@ pub struct Scale {
 
 impl Default for Scale {
     fn default() -> Self {
-        Scale { nodes: 8, page_size: 4096, disk_time_scale: 0.2 }
+        Scale {
+            nodes: 8,
+            page_size: 4096,
+            disk_time_scale: 0.2,
+        }
     }
 }
 
@@ -209,10 +213,18 @@ pub fn table3(scale: &Scale) -> Vec<Table3Row> {
             let ft_s = secs(ft.wall);
             // Per-node averages, as in the paper.
             let n = ft.nodes.len() as f64;
-            let logging: f64 =
-                ft.nodes.iter().map(|x| secs(x.breakdown.logging)).sum::<f64>() / n;
-            let disk: f64 =
-                ft.nodes.iter().map(|x| secs(x.breakdown.disk_write)).sum::<f64>() / n;
+            let logging: f64 = ft
+                .nodes
+                .iter()
+                .map(|x| secs(x.breakdown.logging))
+                .sum::<f64>()
+                / n;
+            let disk: f64 = ft
+                .nodes
+                .iter()
+                .map(|x| secs(x.breakdown.disk_write))
+                .sum::<f64>()
+                / n;
             Table3Row {
                 app: app.name(),
                 policy_l: app.policy_l(),
@@ -257,14 +269,24 @@ pub fn table4(scale: &Scale) -> Vec<Table4Row> {
         .iter()
         .map(|&app| {
             let r = run_app(app, scale.ft_config(app));
-            let created: u64 =
-                r.nodes.iter().map(|x| x.ft.log_counters.created_bytes).sum();
-            let discarded: u64 =
-                r.nodes.iter().map(|x| x.ft.log_counters.discarded_bytes).sum();
+            let created: u64 = r
+                .nodes
+                .iter()
+                .map(|x| x.ft.log_counters.created_bytes)
+                .sum();
+            let discarded: u64 = r
+                .nodes
+                .iter()
+                .map(|x| x.ft.log_counters.discarded_bytes)
+                .sum();
             let saved: u64 = r.nodes.iter().map(|x| x.ft.log_bytes_saved).sum();
             let disk: u64 = r.nodes.iter().map(|x| x.ft.store.bytes_written).sum();
-            let max_log: u64 =
-                r.nodes.iter().map(|x| x.ft.max_stable_log_bytes).max().unwrap_or(0);
+            let max_log: u64 = r
+                .nodes
+                .iter()
+                .map(|x| x.ft.max_stable_log_bytes)
+                .max()
+                .unwrap_or(0);
             Table4Row {
                 app: app.name(),
                 wmax: r.max_ckpt_window(),
@@ -272,7 +294,11 @@ pub fn table4(scale: &Scale) -> Vec<Table4Row> {
                 total_disk_traffic_mb: mb(disk),
                 logs_created_mb: mb(created),
                 logs_saved_mb: mb(saved),
-                saved_pct: if created > 0 { 100.0 * saved as f64 / created as f64 } else { 0.0 },
+                saved_pct: if created > 0 {
+                    100.0 * saved as f64 / created as f64
+                } else {
+                    0.0
+                },
                 logs_discarded_mb: mb(discarded),
                 discarded_pct: if created > 0 {
                     100.0 * discarded as f64 / created as f64

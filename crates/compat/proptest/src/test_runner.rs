@@ -1,0 +1,143 @@
+//! Deterministic case runner for the proptest shim.
+
+/// Number of cases per property: `PROPTEST_CASES` env var, default 64.
+pub fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// Optional seed override mixed into every case (`PROPTEST_SHIM_SEED`).
+fn seed_override() -> u64 {
+    std::env::var("PROPTEST_SHIM_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Why a test case did not pass: an explicit failure (`fail`) or an input
+/// the property cannot use (`reject`). The shim treats both as failures
+/// when returned from a property body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The generated input was unusable.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// An explicit property failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// An input rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+/// splitmix64 — tiny, fast, and deterministic across platforms.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from the test name + case index (+ env override), so each case
+    /// of each property draws an independent, reproducible stream.
+    pub fn for_case(test_name: &str, case: usize) -> Self {
+        // FNV-1a over the name, then mix in the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= seed_override();
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Drop guard that prints the generated inputs when a property panics.
+/// `disarm` is called after the body runs clean; if the body panics the
+/// guard drops while `std::thread::panicking()` and reports.
+pub struct FailureReporter {
+    test: &'static str,
+    case: usize,
+    inputs: String,
+    armed: bool,
+}
+
+impl FailureReporter {
+    /// Arm a reporter for one case.
+    pub fn new(test: &'static str, case: usize, inputs: String) -> Self {
+        FailureReporter {
+            test,
+            case,
+            inputs,
+            armed: true,
+        }
+    }
+
+    /// The case passed; drop silently.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for FailureReporter {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest-shim: property `{}` failed at case {} \
+                 (rerun with PROPTEST_CASES={} to stop at it) with inputs:\n{}",
+                self.test,
+                self.case,
+                self.case + 1,
+                self.inputs
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::for_case("x", 0);
+        let mut b = TestRng::for_case("x", 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("x", 1);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn case_count_default() {
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(case_count(), 64);
+        }
+    }
+}

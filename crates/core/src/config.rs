@@ -1,6 +1,7 @@
 //! Cluster and fault-tolerance configuration.
 
 use dsm_storage::DiskModel;
+use dsm_trace::TraceConfig;
 
 /// When a node decides to take an independent checkpoint.
 ///
@@ -45,7 +46,10 @@ pub struct FtConfig {
 
 impl Default for FtConfig {
     fn default() -> Self {
-        FtConfig { policy: CkptPolicy::LogOverflow { l: 0.1 }, piggy_page_batch: 32 }
+        FtConfig {
+            policy: CkptPolicy::LogOverflow { l: 0.1 },
+            piggy_page_batch: 32,
+        }
     }
 }
 
@@ -74,12 +78,21 @@ pub struct ClusterConfig {
     pub ft: Option<FtConfig>,
     /// Stable-storage timing model.
     pub disk: DiskModel,
+    /// Protocol event tracing. Defaults to the `FTDSM_TRACE*` environment
+    /// variables, so any run can be traced without code changes.
+    pub trace: TraceConfig,
 }
 
 impl ClusterConfig {
     /// Base-protocol configuration (no fault tolerance), instant disk.
     pub fn base(nodes: usize) -> Self {
-        ClusterConfig { nodes, page_size: 4096, ft: None, disk: DiskModel::instant() }
+        ClusterConfig {
+            nodes,
+            page_size: 4096,
+            ft: None,
+            disk: DiskModel::instant(),
+            trace: TraceConfig::from_env(),
+        }
     }
 
     /// Fault-tolerant configuration with the default `OF(0.1)` policy and an
@@ -90,6 +103,7 @@ impl ClusterConfig {
             page_size: 4096,
             ft: Some(FtConfig::default()),
             disk: DiskModel::instant(),
+            trace: TraceConfig::from_env(),
         }
     }
 
@@ -103,7 +117,12 @@ impl ClusterConfig {
     pub fn with_policy(mut self, policy: CkptPolicy) -> Self {
         match &mut self.ft {
             Some(ft) => ft.policy = policy,
-            None => self.ft = Some(FtConfig { policy, ..FtConfig::default() }),
+            None => {
+                self.ft = Some(FtConfig {
+                    policy,
+                    ..FtConfig::default()
+                })
+            }
         }
         self
     }
@@ -111,6 +130,12 @@ impl ClusterConfig {
     /// Replace the disk model.
     pub fn with_disk(mut self, disk: DiskModel) -> Self {
         self.disk = disk;
+        self
+    }
+
+    /// Replace the trace configuration (e.g. `TraceConfig::enabled()`).
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 

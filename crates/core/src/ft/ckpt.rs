@@ -46,7 +46,12 @@ impl CheckpointBlob {
     /// Encode to bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = ByteWriter::with_capacity(
-            256 + self.app_state.len() + self.home_pages.iter().map(|p| p.2.len() + 64).sum::<usize>(),
+            256 + self.app_state.len()
+                + self
+                    .home_pages
+                    .iter()
+                    .map(|p| p.2.len() + 64)
+                    .sum::<usize>(),
         );
         w.put_u64(self.seq);
         wire::put_vt(&mut w, &self.tckp);
@@ -139,7 +144,10 @@ impl CheckpointBlob {
 
     /// The version vector of one homed page copy in this checkpoint.
     pub fn page_version(&self, page: PageId) -> Option<&VectorClock> {
-        self.home_pages.iter().find(|(p, _, _)| *p == page).map(|(_, v, _)| v)
+        self.home_pages
+            .iter()
+            .find(|(p, _, _)| *p == page)
+            .map(|(_, v, _)| v)
     }
 }
 

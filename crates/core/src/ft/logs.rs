@@ -180,7 +180,11 @@ impl VolatileLogs {
 
     /// Record one completed interval: its write notice and its diffs.
     pub fn log_interval(&mut self, seq: u32, pages: Vec<PageId>, diffs: Vec<DiffLogEntry>) {
-        let entry = WnLogEntry { seq, pages, saved: false };
+        let entry = WnLogEntry {
+            seq,
+            pages,
+            saved: false,
+        };
         self.counters.created_bytes += entry.wire_size() as u64;
         self.wn.push(entry);
         for d in diffs {
@@ -253,7 +257,9 @@ impl VolatileLogs {
         let me = self.me;
         let mut dropped = 0u64;
         for (page, log) in self.diffs.iter_mut() {
-            let Some(&bound) = p0v_known.get(page) else { continue };
+            let Some(&bound) = p0v_known.get(page) else {
+                continue;
+            };
             log.retain(|e| {
                 if e.t.get(me) > bound {
                     true
@@ -328,7 +334,11 @@ impl VolatileLogs {
         for _ in 0..wn_len {
             let seq = r.get_u32()?;
             let pages = wire::get_pages(&mut r)?;
-            wn.push(WnLogEntry { seq, pages, saved: true });
+            wn.push(WnLogEntry {
+                seq,
+                pages,
+                saved: true,
+            });
         }
         let np = r.get_u64()? as usize;
         let mut diffs: HashMap<PageId, Vec<DiffLogEntry>> = HashMap::with_capacity(np);
@@ -339,7 +349,11 @@ impl VolatileLogs {
             for _ in 0..len {
                 let diff = wire::get_diff(&mut r)?;
                 let t = wire::get_vt(&mut r)?;
-                log.push(DiffLogEntry { diff, t, saved: true });
+                log.push(DiffLogEntry {
+                    diff,
+                    t,
+                    saved: true,
+                });
             }
             diffs.insert(page, log);
         }
@@ -395,13 +409,34 @@ mod tests {
         let mut l = VolatileLogs::new(0, 2);
         l.log_rel(
             1,
-            RelEntry { acq_seq: 0, lock: 3, gen: 0, req_vt: vt(&[0, 0]), t_after: vt(&[1, 2]) },
+            RelEntry {
+                acq_seq: 0,
+                lock: 3,
+                gen: 0,
+                req_vt: vt(&[0, 0]),
+                t_after: vt(&[1, 2]),
+            },
         );
         l.log_rel(
             1,
-            RelEntry { acq_seq: 1, lock: 3, gen: 0, req_vt: vt(&[1, 2]), t_after: vt(&[1, 5]) },
+            RelEntry {
+                acq_seq: 1,
+                lock: 3,
+                gen: 0,
+                req_vt: vt(&[1, 2]),
+                t_after: vt(&[1, 5]),
+            },
         );
-        l.log_acq(1, RelEntry { acq_seq: 0, lock: 4, gen: 0, req_vt: vt(&[0, 0]), t_after: vt(&[2, 1]) });
+        l.log_acq(
+            1,
+            RelEntry {
+                acq_seq: 0,
+                lock: 4,
+                gen: 0,
+                req_vt: vt(&[0, 0]),
+                t_after: vt(&[2, 1]),
+            },
+        );
         // Process 1 checkpointed at [1,3]: the t_after=[1,2] grant is
         // strictly older and covered; the boundary would be retained.
         let tckp = vec![vt(&[0, 0]), vt(&[1, 3])];
@@ -431,7 +466,11 @@ mod tests {
     #[test]
     fn stable_encode_decode_roundtrip() {
         let mut l = VolatileLogs::new(0, 2);
-        l.log_interval(1, vec![PageId(0), PageId(2)], vec![diff_entry(0, 0, 1, &[1, 0])]);
+        l.log_interval(
+            1,
+            vec![PageId(0), PageId(2)],
+            vec![diff_entry(0, 0, 1, &[1, 0])],
+        );
         l.log_interval(2, vec![PageId(2)], vec![diff_entry(0, 2, 2, &[2, 1])]);
         let bytes = l.encode_stable();
         // Saving marks entries; decoding marks them saved too.
@@ -448,7 +487,16 @@ mod tests {
     #[test]
     fn find_rel_locates_grants_for_retransmission() {
         let mut l = VolatileLogs::new(0, 2);
-        l.log_rel(1, RelEntry { acq_seq: 5, lock: 0, gen: 0, req_vt: vt(&[0, 1]), t_after: vt(&[2, 1]) });
+        l.log_rel(
+            1,
+            RelEntry {
+                acq_seq: 5,
+                lock: 0,
+                gen: 0,
+                req_vt: vt(&[0, 1]),
+                t_after: vt(&[2, 1]),
+            },
+        );
         assert!(l.find_rel(1, 5).is_some());
         assert!(l.find_rel(1, 4).is_none());
     }
@@ -457,7 +505,11 @@ mod tests {
     fn barrier_trim_drops_old_episodes() {
         let mut l = VolatileLogs::new(0, 2);
         for ep in 0..4 {
-            l.log_bar(BarEntry { episode: ep, arrive_vt: vt(&[0, 0]), result_vt: vt(&[0, 0]) });
+            l.log_bar(BarEntry {
+                episode: ep,
+                arrive_vt: vt(&[0, 0]),
+                result_vt: vt(&[0, 0]),
+            });
         }
         l.trim_bar(2);
         let eps: Vec<_> = l.bar.iter().map(|e| e.episode).collect();

@@ -11,6 +11,7 @@ use std::time::{Duration, Instant};
 
 use dsm_page::{elementwise_min, PageId, ProcId, VectorClock};
 use dsm_storage::{SegmentKind, StableStore};
+use dsm_trace::{EventKind, TrimRule};
 
 use crate::config::{CkptPolicy, FtConfig};
 use crate::msg::Piggy;
@@ -113,7 +114,14 @@ impl FtState {
     pub(crate) fn gossip_table(&self, me: ProcId) -> Vec<(ProcId, u64, u64, VectorClock)> {
         (0..self.tckp.len())
             .filter(|&j| j != me && self.peer_ckpt_seq[j] > 0)
-            .map(|j| (j, self.peer_ckpt_seq[j], self.peer_ckpt_episode[j], self.tckp[j].clone()))
+            .map(|j| {
+                (
+                    j,
+                    self.peer_ckpt_seq[j],
+                    self.peer_ckpt_episode[j],
+                    self.tckp[j].clone(),
+                )
+            })
             .collect()
     }
 
@@ -152,7 +160,11 @@ impl FtState {
     /// `Tmin = min_{j != me} T^j_ckp` (Rule 3).
     pub(crate) fn tmin_peers(&self, me: ProcId) -> Option<VectorClock> {
         elementwise_min(
-            self.tckp.iter().enumerate().filter(|(j, _)| *j != me).map(|(_, v)| v),
+            self.tckp
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != me)
+                .map(|(_, v)| v),
         )
     }
 
@@ -184,6 +196,12 @@ pub(crate) fn take_checkpoint(
     let me = st.me;
     let n = st.n;
     let tckp = st.vt.clone();
+    let tracing = st.tracer.enabled();
+    let t_ckpt = Instant::now();
+    if tracing {
+        let seq = st.ft.as_ref().map_or(0, |ft| ft.ckpt_seq + 1);
+        st.tracer.emit(EventKind::CkptBegin { seq });
+    }
     let t_log = Instant::now();
 
     // --- assemble the blob -------------------------------------------------
@@ -207,11 +225,31 @@ pub(crate) fn take_checkpoint(
         app_state,
         needed: st.pt.needed_triples(),
         tenures: st.tenure.iter().map(|(&l, &(a, r))| (l, a, r)).collect(),
-        last_release_vts: st.last_release_vt.iter().map(|(l, v)| (*l, v.clone())).collect(),
+        last_release_vts: st
+            .last_release_vt
+            .iter()
+            .map(|(l, v)| (*l, v.clone()))
+            .collect(),
         home_pages,
     };
 
     // --- trim logs (LLT + Rules 1/2 + barrier analogue) --------------------
+    // When tracing, sample the volatile log size around each rule so every
+    // `LogTrim` event carries the bytes that rule actually freed.
+    let mut vb = if tracing { ft.logs.volatile_bytes() } else { 0 };
+    let mut note_trim = |ft: &FtState, tracer: &dsm_trace::NodeTracer, rule: TrimRule| {
+        if !tracing {
+            return;
+        }
+        let now = ft.logs.volatile_bytes();
+        if now < vb {
+            tracer.emit(EventKind::LogTrim {
+                rule,
+                bytes: vb - now,
+            });
+        }
+        vb = now;
+    };
     // Rule 1 bound: min over peers of their checkpointed knowledge of us.
     let rule1_bound = (0..n)
         .filter(|&j| j != me)
@@ -219,8 +257,10 @@ pub(crate) fn take_checkpoint(
         .min()
         .unwrap_or(0);
     ft.logs.trim_rule1(rule1_bound);
+    note_trim(ft, &st.tracer, TrimRule::Rule1);
     let tckp_table: Vec<VectorClock> = ft.tckp.clone();
     ft.logs.trim_rule2(&tckp_table, &tckp);
+    note_trim(ft, &st.tracer, TrimRule::Rule2);
     // Rule 3 for remote-homed pages uses lazily learned p0.v; for our own
     // homed pages we know the oldest retained copy exactly — gated, like
     // the piggyback, on Tmin covering it (otherwise a peer may need to
@@ -236,6 +276,7 @@ pub(crate) fn take_checkpoint(
         }
     }
     ft.logs.trim_rule3(&p0v);
+    note_trim(ft, &st.tracer, TrimRule::Rule3);
     let min_ckpt_episode = {
         let own = st.bar_episode;
         (0..n)
@@ -246,12 +287,16 @@ pub(crate) fn take_checkpoint(
             .unwrap_or(0)
     };
     ft.logs.trim_bar(min_ckpt_episode);
+    note_trim(ft, &st.tracer, TrimRule::Barrier);
     let log_blob = ft.logs.encode_stable();
     let logging_time = t_log.elapsed();
 
     // --- write to stable storage -------------------------------------------
     let encoded = blob.encode();
-    let d1 = ft.store.write_segment(SegmentKind::Checkpoint, seq, encoded);
+    let ckpt_bytes = (encoded.len() + log_blob.len()) as u64;
+    let d1 = ft
+        .store
+        .write_segment(SegmentKind::Checkpoint, seq, encoded);
     ft.report.log_bytes_saved += ft.logs.mark_saved();
     let d2 = ft.store.write_segment(SegmentKind::Log, 0, log_blob);
     let disk_time = d1 + d2;
@@ -284,17 +329,18 @@ pub(crate) fn take_checkpoint(
                 needed[k] = true;
             }
         }
-        if std::env::var_os("FTDSM_TRACE_CGC").is_some() {
-            eprintln!(
-                "[cgc] node {me} ckpt {seq} window={:?} needed={needed:?}",
-                ft.retained.iter().map(|r| r.seq).collect::<Vec<_>>(),
-            );
-        }
         let mut k = 0;
         let store = Arc::clone(&ft.store);
+        let tracer = st.tracer.clone();
         ft.retained.retain(|rc| {
             let keep = needed[k];
             if !keep {
+                if tracing {
+                    let bytes = store
+                        .segment_len(SegmentKind::Checkpoint, rc.seq)
+                        .unwrap_or(0);
+                    tracer.emit(EventKind::CgcDiscard { seq: rc.seq, bytes });
+                }
                 store.delete_segment(SegmentKind::Checkpoint, rc.seq);
             }
             k += 1;
@@ -323,6 +369,17 @@ pub(crate) fn take_checkpoint(
     if let Some(bound) = elementwise_min(all_tckp.iter()) {
         st.wn_table.trim_covered_by(&bound);
     }
+
+    st.hists
+        .ckpt_write
+        .record(t_ckpt.elapsed().as_nanos() as u64);
+    st.tracer.emit_span(
+        EventKind::CkptEnd {
+            seq,
+            bytes: ckpt_bytes,
+        },
+        t_ckpt,
+    );
 
     (logging_time, disk_time)
 }

@@ -24,15 +24,14 @@ use std::sync::Arc;
 
 use dsm_page::{Page, PageId, ProcId, VectorClock};
 use dsm_storage::SegmentKind;
+use dsm_trace::{EventKind, RecPhase};
 use hlrc::barrier::BarrierManager;
 use hlrc::WnTable;
 
 use crate::ft::ckpt::CheckpointBlob;
 use crate::ft::logs::{DiffLogEntry, RelEntry, VolatileLogs};
 use crate::msg::Payload;
-use crate::runtime::node::{
-    apply_pending_home, handle_msg, Mode, NodeShared, NodeState,
-};
+use crate::runtime::node::{apply_pending_home, handle_msg, Mode, NodeShared, NodeState};
 
 /// One remote page being rebuilt by local home emulation.
 #[derive(Debug)]
@@ -50,6 +49,8 @@ pub(crate) struct ReplayPage {
 pub(crate) struct ReplayState {
     /// When the recovery began (for the recovery-time statistic).
     pub started: Option<std::time::Instant>,
+    /// When replay (phase 4→5 re-execution) began, for the trace span.
+    pub replay_from: Option<std::time::Instant>,
     /// Grants to this node, keyed by our acquisition sequence number.
     pub rel: HashMap<u64, (ProcId, RelEntry)>,
     /// Completed barrier episodes: episode → joined timestamp.
@@ -59,6 +60,13 @@ pub(crate) struct ReplayState {
     /// Diffs for our homed pages not yet applied (gated by how much of our
     /// own history their creators had seen).
     pub pending_home: Vec<DiffLogEntry>,
+    /// Highest interval of OURS any collected peer record proves existed:
+    /// peers only learn our interval k after the op that created it
+    /// completed, so a record carrying our component `> vt[me]` during
+    /// replay is proof the op at hand finished before the crash. Needed to
+    /// recognize a *final* self-granted acquire (which leaves no mirrored
+    /// grant record and no later logged event of our own).
+    pub evidence_self: u32,
 }
 
 /// Sort key: a linear extension of the happens-before partial order on
@@ -80,7 +88,11 @@ pub(crate) fn run_recovery(shared: &Arc<NodeShared>) -> (u64, Vec<u8>) {
     let homed: Vec<PageId>;
     let (step, app_state) = {
         let mut st = shared.state.lock();
-        assert_eq!(st.mode, Mode::Recovering, "recovery outside Recovering mode");
+        assert_eq!(
+            st.mode,
+            Mode::Recovering,
+            "recovery outside Recovering mode"
+        );
         st.recoveries += 1;
 
         let store = Arc::clone(&st.ft.as_ref().expect("recovery requires FT").store);
@@ -111,16 +123,14 @@ pub(crate) fn run_recovery(shared: &Arc<NodeShared>) -> (u64, Vec<u8>) {
                 st.vt = ckpt.tckp.clone();
                 st.acq_seq_next = ckpt.acq_seq_next;
                 st.bar_episode = ckpt.bar_episode;
-                st.tenure =
-                    ckpt.tenures.iter().map(|&(l, a, r)| (l, (a, r))).collect();
+                st.tenure = ckpt.tenures.iter().map(|&(l, a, r)| (l, (a, r))).collect();
                 st.held = ckpt
                     .tenures
                     .iter()
                     .filter(|&&(_, _, released)| !released)
                     .map(|&(l, _, _)| l)
                     .collect();
-                st.last_release_vt =
-                    ckpt.last_release_vts.iter().cloned().collect();
+                st.last_release_vt = ckpt.last_release_vts.iter().cloned().collect();
                 st.pt.reset_for_restart(&ckpt.needed);
                 // Restore homed pages; zero any never-checkpointed ones.
                 let in_ckpt: std::collections::HashSet<PageId> =
@@ -199,19 +209,36 @@ pub(crate) fn run_recovery(shared: &Arc<NodeShared>) -> (u64, Vec<u8>) {
             // Own write notices back into the table and the since-barrier
             // buffer.
             let bar_seq = ft.last_bar_arrive_seq;
-            let own_wn: Vec<(u32, Vec<PageId>)> =
-                ft.logs.wn.iter().map(|e| (e.seq, e.pages.clone())).collect();
+            let own_wn: Vec<(u32, Vec<PageId>)> = ft
+                .logs
+                .wn
+                .iter()
+                .map(|e| (e.seq, e.pages.clone()))
+                .collect();
             for (seq, pages) in own_wn {
                 let iv = dsm_page::Interval { proc: me, seq };
                 st.wn_table.insert_parts(iv, pages.clone());
                 if seq > bar_seq {
-                    st.wn_since_barrier.push(hlrc::WriteNotice { interval: iv, pages });
+                    st.wn_since_barrier.push(hlrc::WriteNotice {
+                        interval: iv,
+                        pages,
+                    });
                 }
             }
             st.wn_since_barrier.sort_by_key(|w| w.interval.seq);
         }
 
         homed = st.pt.homed_pages();
+
+        st.hists
+            .rec_restore
+            .record(t_recovery.elapsed().as_nanos() as u64);
+        st.tracer.emit_span(
+            EventKind::RecoveryPhase {
+                phase: RecPhase::Restore,
+            },
+            t_recovery,
+        );
 
         // ---- Phase 2: handshake ---------------------------------------------
         for p in 0..n {
@@ -223,6 +250,7 @@ pub(crate) fn run_recovery(shared: &Arc<NodeShared>) -> (u64, Vec<u8>) {
     };
 
     // ---- Phase 3: collect and merge log replies -----------------------------
+    let t_collect = std::time::Instant::now();
     let mut replay = ReplayState::default();
     {
         let mut st = shared.state.lock();
@@ -248,7 +276,10 @@ pub(crate) fn run_recovery(shared: &Arc<NodeShared>) -> (u64, Vec<u8>) {
                     };
                     for e in wn {
                         st.wn_table.insert_parts(
-                            dsm_page::Interval { proc: peer, seq: e.seq },
+                            dsm_page::Interval {
+                                proc: peer,
+                                seq: e.seq,
+                            },
                             e.pages,
                         );
                     }
@@ -256,12 +287,16 @@ pub(crate) fn run_recovery(shared: &Arc<NodeShared>) -> (u64, Vec<u8>) {
                     // replay input and the mirror restoring our acq_log.
                     st.ft.as_mut().unwrap().logs.acq[peer] = rel_for_you.clone();
                     for e in rel_for_you {
+                        replay.evidence_self = replay.evidence_self.max(e.t_after.get(me));
                         replay.rel.insert(e.acq_seq, (peer, e));
                     }
                     // acq_mirror restores our rel_log[peer] and the chain
-                    // info for grants we issued.
+                    // info for grants we issued. Its timestamps also carry
+                    // our own clock component: a grant we gave after
+                    // releasing interval k proves interval k completed.
                     {
                         for e in &acq_mirror {
+                            replay.evidence_self = replay.evidence_self.max(e.t_after.get(me));
                             let c = st
                                 .lock_chain_info
                                 .entry(e.lock)
@@ -274,9 +309,11 @@ pub(crate) fn run_recovery(shared: &Arc<NodeShared>) -> (u64, Vec<u8>) {
                         ft.logs.rel[peer] = acq_mirror;
                     }
                     for e in &bar {
+                        replay.evidence_self = replay.evidence_self.max(e.result_vt.get(me));
                         replay.bar_results.insert(e.episode, e.result_vt.clone());
                     }
                     for e in &bar_mgr {
+                        replay.evidence_self = replay.evidence_self.max(e.result_vt.get(me));
                         replay.bar_results.insert(e.episode, e.result_vt.clone());
                     }
                     // Manager rebuild: chains for locks we manage.
@@ -290,7 +327,9 @@ pub(crate) fn run_recovery(shared: &Arc<NodeShared>) -> (u64, Vec<u8>) {
                 }
             }
             if got.len() < n - 1 {
-                shared.cv.wait_for(&mut st, std::time::Duration::from_secs(30));
+                shared
+                    .cv
+                    .wait_for(&mut st, std::time::Duration::from_secs(30));
             }
         }
         // Our own chains: locks we manage where we granted.
@@ -348,14 +387,29 @@ pub(crate) fn run_recovery(shared: &Arc<NodeShared>) -> (u64, Vec<u8>) {
                 }
             }
             if got_diffs < want {
-                shared.cv.wait_for(&mut st, std::time::Duration::from_secs(30));
+                shared
+                    .cv
+                    .wait_for(&mut st, std::time::Duration::from_secs(30));
             }
         }
         entries.sort_by_key(linear_key);
+        for e in &entries {
+            replay.evidence_self = replay.evidence_self.max(e.t.get(me));
+        }
         replay.pending_home = entries;
         replay.started = Some(t_recovery);
+        replay.replay_from = Some(std::time::Instant::now());
         st.replay = Some(replay);
         apply_pending_home(&mut st);
+        st.hists
+            .rec_log_collect
+            .record(t_collect.elapsed().as_nanos() as u64);
+        st.tracer.emit_span(
+            EventKind::RecoveryPhase {
+                phase: RecPhase::LogCollect,
+            },
+            t_collect,
+        );
     }
 
     (step, app_state)
@@ -368,6 +422,15 @@ pub(crate) fn go_live(st: &mut NodeState) {
     let replay = st.replay.take().expect("go_live without replay state");
     if let (Some(t0), Some(ft)) = (replay.started, st.ft.as_mut()) {
         ft.report.recovery_time += t0.elapsed();
+    }
+    if let Some(t0) = replay.replay_from {
+        st.hists.rec_replay.record(t0.elapsed().as_nanos() as u64);
+        st.tracer.emit_span(
+            EventKind::RecoveryPhase {
+                phase: RecPhase::Replay,
+            },
+            t0,
+        );
     }
     if !replay.pending_home.is_empty() {
         for e in &replay.pending_home {

@@ -43,6 +43,7 @@ pub mod wire;
 pub use config::{CkptPolicy, ClusterConfig, FailureSpec, FtConfig, HomeAlloc};
 pub use dsm_page::{GlobalAddr, PageId};
 pub use dsm_storage::{DiskMode, DiskModel};
+pub use dsm_trace::{Trace, TraceConfig};
 pub use hlrc::LockId;
 pub use runtime::{run, AppState, Process, SharedVec};
 pub use shareable::Shareable;

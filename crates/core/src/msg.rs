@@ -38,7 +38,11 @@ impl Piggy {
         self.tckp.wire_size()
             + 16
             + 8 * self.p0v.len()
-            + self.table.iter().map(|(_, _, _, v)| 20 + v.wire_size()).sum::<usize>()
+            + self
+                .table
+                .iter()
+                .map(|(_, _, _, v)| 20 + v.wire_size())
+                .sum::<usize>()
     }
 }
 
@@ -194,9 +198,7 @@ impl Payload {
             Payload::LockGrant { vt, wns, .. } => {
                 25 + vt.wire_size() + wns.iter().map(|w| w.wire_size()).sum::<usize>()
             }
-            Payload::DiffBatch { diffs } => {
-                9 + diffs.iter().map(|d| d.wire_size()).sum::<usize>()
-            }
+            Payload::DiffBatch { diffs } => 9 + diffs.iter().map(|d| d.wire_size()).sum::<usize>(),
             Payload::BarrierArrive { vt, own_wns, .. } => {
                 9 + vt.wire_size() + own_wns.iter().map(|w| w.wire_size()).sum::<usize>()
             }
@@ -206,7 +208,14 @@ impl Payload {
             Payload::PageReq { needed, .. } => 13 + needed.wire_size(),
             Payload::PageReply { version, bytes, .. } => 17 + version.wire_size() + bytes.len(),
             Payload::RecLogReq => 1,
-            Payload::RecLogReply { wn, rel_for_you, acq_mirror, bar, bar_mgr, lock_chains } => {
+            Payload::RecLogReply {
+                wn,
+                rel_for_you,
+                acq_mirror,
+                bar,
+                bar_mgr,
+                lock_chains,
+            } => {
                 1 + wn.iter().map(|e| e.wire_size()).sum::<usize>()
                     + rel_for_you.iter().map(|e| e.wire_size()).sum::<usize>()
                     + acq_mirror.iter().map(|e| e.wire_size()).sum::<usize>()
@@ -262,7 +271,10 @@ pub struct Msg {
 impl Msg {
     /// A bare message without piggyback.
     pub fn bare(payload: Payload) -> Self {
-        Msg { payload, piggy: None }
+        Msg {
+            payload,
+            piggy: None,
+        }
     }
 }
 
@@ -272,6 +284,9 @@ impl dsm_net::WireSized for Msg {
     }
     fn ft_wire_size(&self) -> usize {
         self.piggy.as_ref().map_or(0, |p| p.wire_size())
+    }
+    fn kind_name(&self) -> &'static str {
+        self.payload.kind()
     }
 }
 

@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 use dsm_net::Fabric;
 use dsm_page::VectorClock;
 use dsm_storage::StableStore;
+use dsm_trace::Trace;
 use hlrc::barrier::BarrierManager;
 use hlrc::{LockManagerTable, PageTable, WnTable};
 use parking_lot::{Condvar, Mutex};
@@ -15,14 +16,13 @@ use parking_lot::{Condvar, Mutex};
 use crate::config::{ClusterConfig, FailureSpec};
 use crate::ft::FtState;
 use crate::msg::Msg;
-use crate::runtime::node::{
-    service_loop, CrashSignal, Mode, NodeShared, NodeState, WaitSlot,
-};
+use crate::runtime::node::{service_loop, CrashSignal, Mode, NodeShared, NodeState, WaitSlot};
 use crate::runtime::process::Process;
 use crate::stats::{NodeReport, RunReport};
 
 /// Keep injected fail-stop crashes (which are implemented as panics with a
-/// [`CrashSignal`] payload) out of stderr; real panics still print.
+/// [`CrashSignal`] payload) out of stderr; real panics still print, followed
+/// by the flight-recorder tail of any trace-enabled run in the process.
 fn install_crash_hook() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
@@ -32,6 +32,7 @@ fn install_crash_hook() {
                 return;
             }
             default(info);
+            dsm_trace::dump_flight_recorders("panic");
         }));
     });
 }
@@ -50,15 +51,26 @@ where
     let n = config.nodes;
     assert!(n >= 2, "a DSM cluster needs at least two nodes");
     if !failures.is_empty() {
-        assert!(config.ft_enabled(), "failure injection requires fault tolerance");
+        assert!(
+            config.ft_enabled(),
+            "failure injection requires fault tolerance"
+        );
     }
 
+    let trace = Trace::new(n, &config.trace);
+    if trace.is_enabled() {
+        trace.register_flight_recorder();
+    }
     let (fabric, endpoints) = Fabric::<Msg>::new(n);
     let mut shareds: Vec<Arc<NodeShared>> = Vec::with_capacity(n);
-    for (i, ep) in endpoints.into_iter().enumerate() {
+    for (i, mut ep) in endpoints.into_iter().enumerate() {
+        ep.attach_tracer(trace.tracer(i));
         let store = Arc::new(StableStore::new(config.disk));
-        let mut crash_queue: Vec<u64> =
-            failures.iter().filter(|f| f.node == i).map(|f| f.at_op).collect();
+        let mut crash_queue: Vec<u64> = failures
+            .iter()
+            .filter(|f| f.node == i)
+            .map(|f| f.at_op)
+            .collect();
         crash_queue.sort_unstable();
         let state = NodeState {
             me: i,
@@ -98,6 +110,8 @@ where
             recoveries: 0,
             ep: Arc::new(ep),
             breakdown_acc: Default::default(),
+            tracer: trace.tracer(i),
+            hists: Default::default(),
         };
         shareds.push(Arc::new(NodeShared {
             state: Mutex::new(state),
@@ -248,12 +262,25 @@ where
             }
             None => Default::default(),
         };
-        nodes.push(NodeReport { breakdown, traffic: fabric.stats().node(i).snapshot(), ft, ops: st.ops });
+        nodes.push(NodeReport {
+            breakdown,
+            traffic: fabric.stats().node(i).snapshot(),
+            ft,
+            ops: st.ops,
+            hists: st.hists.clone(),
+        });
         st.shutdown = true;
     }
     for h in service_handles {
         let _ = h.join();
     }
 
-    RunReport { results, nodes, wall, shared_bytes, shared_hash: hash }
+    RunReport {
+        results,
+        nodes,
+        wall,
+        shared_bytes,
+        shared_hash: hash,
+        trace,
+    }
 }

@@ -11,8 +11,9 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dsm_page::{Diff, PageId, ProcId, VectorClock};
 use dsm_net::{Endpoint, Event};
+use dsm_page::{Diff, PageId, ProcId, VectorClock};
+use dsm_trace::{EventKind, LatencyHists, NodeTracer};
 use hlrc::barrier::{Arrival, ArriveOutcome, BarrierManager};
 use hlrc::locks::{AcqReq, LockAction, LockManagerTable};
 use hlrc::{LockId, PageTable, WnTable, WriteNotice};
@@ -22,12 +23,6 @@ use crate::ft::logs::{DiffLogEntry, MgrBarEntry, RelEntry};
 use crate::ft::recovery::ReplayState;
 use crate::ft::FtState;
 use crate::msg::{Msg, Payload, Piggy};
-
-/// Cached check of the FTDSM_TRACE_LOCKS debug flag.
-fn trace_locks() -> bool {
-    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *FLAG.get_or_init(|| std::env::var_os("FTDSM_TRACE_LOCKS").is_some())
-}
 
 /// Panic payload used to simulate a fail-stop crash of the application
 /// thread at a DSM operation boundary.
@@ -153,6 +148,10 @@ pub(crate) struct NodeState {
     pub ep: Arc<Endpoint<Msg>>,
     /// Breakdown accumulated across this node's incarnations.
     pub breakdown_acc: crate::stats::Breakdown,
+    /// Protocol event tracer (a no-op handle when tracing is disabled).
+    pub tracer: NodeTracer,
+    /// Latency histograms accumulated across this node's incarnations.
+    pub hists: LatencyHists,
 }
 
 /// Everything shared between a node's threads.
@@ -176,7 +175,11 @@ impl NodeState {
 
     fn make_piggy(&mut self, to: ProcId, gossip: bool) -> Option<Piggy> {
         let me = self.me;
-        let homed = if self.pt.is_empty() { Vec::new() } else { self.pt.homed_pages() };
+        let homed = if self.pt.is_empty() {
+            Vec::new()
+        } else {
+            self.pt.homed_pages()
+        };
         let ft = self.ft.as_mut()?;
         let mut p0v = Vec::new();
         if !homed.is_empty() && !ft.retained.is_empty() {
@@ -201,7 +204,11 @@ impl NodeState {
             }
         }
         let news = ft.piggy_sent[to] != ft.ckpt_seq;
-        let table = if gossip { ft.gossip_table(me) } else { Vec::new() };
+        let table = if gossip {
+            ft.gossip_table(me)
+        } else {
+            Vec::new()
+        };
         if !news && p0v.is_empty() && table.is_empty() {
             return None;
         }
@@ -227,7 +234,10 @@ impl NodeState {
 
     /// Deposit a barrier release.
     pub(crate) fn deposit_release(&mut self, r: ReleaseData) {
-        if let WaitSlot::Barrier { episode, release, .. } = &mut self.wait {
+        if let WaitSlot::Barrier {
+            episode, release, ..
+        } = &mut self.wait
+        {
             if *episode == r.episode && release.is_none() {
                 *release = Some(r);
             }
@@ -236,7 +246,12 @@ impl NodeState {
 
     /// Deposit a page reply.
     pub(crate) fn deposit_page(&mut self, req_id: u64, version: VectorClock, bytes: Vec<u8>) {
-        if let WaitSlot::Page { req_id: want, reply, .. } = &mut self.wait {
+        if let WaitSlot::Page {
+            req_id: want,
+            reply,
+            ..
+        } = &mut self.wait
+        {
             if *want == req_id && reply.is_none() {
                 *reply = Some((version, bytes));
             }
@@ -261,8 +276,19 @@ pub(crate) fn end_interval(st: &mut NodeState) -> (Duration, Duration) {
         return (t0.elapsed(), Duration::ZERO);
     }
     let pages: Vec<PageId> = diffs.iter().map(|d| d.page).collect();
+    if st.tracer.enabled() {
+        for d in &diffs {
+            st.tracer.emit(EventKind::DiffCreate {
+                page: d.page.0,
+                bytes: d.payload_bytes() as u32,
+            });
+        }
+    }
     st.wn_table.insert_parts(iv, pages.clone());
-    st.wn_since_barrier.push(WriteNotice { interval: iv, pages: pages.clone() });
+    st.wn_since_barrier.push(WriteNotice {
+        interval: iv,
+        pages: pages.clone(),
+    });
 
     // Group diffs for remote homes.
     let mut per_home: HashMap<ProcId, Vec<Diff>> = HashMap::new();
@@ -280,7 +306,11 @@ pub(crate) fn end_interval(st: &mut NodeState) -> (Duration, Duration) {
         let t = st.vt.clone();
         let entries = diffs
             .into_iter()
-            .map(|diff| DiffLogEntry { diff, t: t.clone(), saved: false })
+            .map(|diff| DiffLogEntry {
+                diff,
+                t: t.clone(),
+                saved: false,
+            })
             .collect();
         ft.logs.log_interval(iv.seq, pages, entries);
     }
@@ -295,7 +325,9 @@ pub(crate) fn end_interval(st: &mut NodeState) -> (Duration, Duration) {
 /// Apply the pending homed-page diffs whose creators had seen at most
 /// `st.vt[me]` of our history (recovery replay ordering; see DESIGN.md).
 pub(crate) fn apply_pending_home(st: &mut NodeState) {
-    let Some(replay) = st.replay.as_mut() else { return };
+    let Some(replay) = st.replay.as_mut() else {
+        return;
+    };
     if replay.pending_home.is_empty() {
         return;
     }
@@ -306,6 +338,12 @@ pub(crate) fn apply_pending_home(st: &mut NodeState) {
     for e in replay.pending_home.drain(..) {
         if e.t.get(st.me) <= bound {
             st.pt.home_apply_diff(&e.diff);
+            if st.tracer.enabled() {
+                st.tracer.emit(EventKind::DiffApply {
+                    page: e.diff.page.0,
+                    bytes: e.diff.payload_bytes() as u32,
+                });
+            }
         } else {
             rest.push(e);
         }
@@ -324,28 +362,46 @@ pub(crate) fn grant_now(
     req_vt: VectorClock,
 ) {
     let n = st.n;
-    let req_vt = if req_vt.is_empty() { VectorClock::zero(n) } else { req_vt };
+    let req_vt = if req_vt.is_empty() {
+        VectorClock::zero(n)
+    } else {
+        req_vt
+    };
     let grant_vt = st
         .last_release_vt
         .get(&lock)
         .cloned()
         .unwrap_or_else(|| VectorClock::zero(n));
     let wns = st.wn_table.missing_between(&req_vt, &grant_vt);
-    if trace_locks() {
-        eprintln!(
-            "[grant] node {} -> {} lock {} acq{} gen{} vt={} req_vt={} wns={}",
-            st.me, requester, lock, acq_seq, gen, grant_vt, req_vt, wns.len()
-        );
-    }
+    st.tracer.emit(EventKind::LockGrant {
+        lock: lock as u32,
+        to: requester,
+    });
     if let Some(ft) = st.ft.as_mut() {
         let mut t_after = req_vt.clone();
         t_after.join(&grant_vt);
-        ft.logs.log_rel(requester, RelEntry { acq_seq, lock, gen, req_vt, t_after });
+        ft.logs.log_rel(
+            requester,
+            RelEntry {
+                acq_seq,
+                lock,
+                gen,
+                req_vt,
+                t_after,
+            },
+        );
     }
     deliver_grant(
         st,
         requester,
-        GrantData { lock, acq_seq, gen, granter: st.me, vt: grant_vt, wns },
+        GrantData {
+            lock,
+            acq_seq,
+            gen,
+            granter: st.me,
+            vt: grant_vt,
+            wns,
+        },
     );
 }
 
@@ -355,7 +411,13 @@ fn deliver_grant(st: &mut NodeState, to: ProcId, g: GrantData) {
     } else {
         st.send(
             to,
-            Payload::LockGrant { lock: g.lock, acq_seq: g.acq_seq, gen: g.gen, vt: g.vt, wns: g.wns },
+            Payload::LockGrant {
+                lock: g.lock,
+                acq_seq: g.acq_seq,
+                gen: g.gen,
+                vt: g.vt,
+                wns: g.wns,
+            },
         );
     }
 }
@@ -372,7 +434,10 @@ pub(crate) fn handle_forward(
 ) {
     // Track the newest grant this node is responsible for (manager
     // recovery).
-    let e = st.lock_chain_info.entry(lock).or_insert((gen, requester, acq_seq));
+    let e = st
+        .lock_chain_info
+        .entry(lock)
+        .or_insert((gen, requester, acq_seq));
     if gen >= e.0 {
         *e = (gen, requester, acq_seq);
     }
@@ -415,17 +480,17 @@ pub(crate) fn handle_forward(
                 None => true, // no record: the tenure predates anything we know
                 Some(&(ts, released)) => pred_acq < ts || (pred_acq == ts && released),
             });
-    if trace_locks() {
-        eprintln!(
-            "[fwd] node {} lock {} req {} acq{} gen{} pred{} tenure={:?} grantable={}",
-            st.me, lock, requester, acq_seq, gen, pred_acq, st.tenure.get(&lock), grantable
-        );
-    }
     if !grantable {
         st.pending_grants
             .entry(lock)
             .or_default()
-            .push(PendingGrant { requester, acq_seq, gen, pred_acq, req_vt });
+            .push(PendingGrant {
+                requester,
+                acq_seq,
+                gen,
+                pred_acq,
+                req_vt,
+            });
         return;
     }
     grant_now(st, lock, requester, acq_seq, gen, req_vt);
@@ -434,7 +499,15 @@ pub(crate) fn handle_forward(
 /// Route a manager decision: either grant locally or forward.
 pub(crate) fn dispatch_lock_action(st: &mut NodeState, a: LockAction) {
     if a.grant_from == st.me {
-        handle_forward(st, a.lock, a.req.requester, a.req.acq_seq, a.gen, a.pred_acq, a.req.vt);
+        handle_forward(
+            st,
+            a.lock,
+            a.req.requester,
+            a.req.acq_seq,
+            a.gen,
+            a.pred_acq,
+            a.req.vt,
+        );
     } else {
         st.send(
             a.grant_from,
@@ -461,7 +534,15 @@ pub(crate) fn serve_waiting_fetches(st: &mut NodeState) {
             let h = st.pt.home_meta(page);
             let version = h.version.clone();
             let bytes = h.copy.bytes().to_vec();
-            st.send(from, Payload::PageReply { page, req_id, version, bytes });
+            st.send(
+                from,
+                Payload::PageReply {
+                    page,
+                    req_id,
+                    version,
+                    bytes,
+                },
+            );
         } else {
             st.waiting_fetches.push((from, page, needed, req_id));
         }
@@ -493,7 +574,11 @@ pub(crate) fn barrier_manager_arrive(st: &mut NodeState, arrival: Arrival) {
                 } else {
                     st.send(
                         p,
-                        Payload::BarrierRelease { episode: data.episode, vt: data.vt, wns: data.wns },
+                        Payload::BarrierRelease {
+                            episode: data.episode,
+                            vt: data.vt,
+                            wns: data.wns,
+                        },
                     );
                 }
             }
@@ -509,7 +594,11 @@ pub(crate) fn barrier_manager_arrive(st: &mut NodeState, arrival: Arrival) {
             } else {
                 st.send(
                     proc,
-                    Payload::BarrierRelease { episode: data.episode, vt: data.vt, wns: data.wns },
+                    Payload::BarrierRelease {
+                        episode: data.episode,
+                        vt: data.vt,
+                        wns: data.wns,
+                    },
                 );
             }
         }
@@ -537,19 +626,24 @@ fn build_rec_log_reply(st: &NodeState, r: ProcId) -> Payload {
 /// copy whose version the requester's restart checkpoint covers, falling
 /// back to the initial zero page.
 fn serve_rec_page(st: &mut NodeState, from: ProcId, page: PageId, tckp: VectorClock) {
-    assert!(st.pt.is_home(page), "RecPageReq for page {page} not homed here");
+    assert!(
+        st.pt.is_home(page),
+        "RecPageReq for page {page} not homed here"
+    );
     let n = st.n;
     let ft = st.ft.as_ref().expect("recovery without FT");
     let mut found: Option<(VectorClock, Vec<u8>)> = None;
     for rc in ft.retained.iter().rev() {
-        let Some(v) = rc.versions.get(&page) else { continue };
+        let Some(v) = rc.versions.get(&page) else {
+            continue;
+        };
         if tckp.covers(v) {
             let blob = ft
                 .store
                 .read_segment(dsm_storage::SegmentKind::Checkpoint, rc.seq)
                 .expect("retained checkpoint missing from stable storage");
-            let ckpt = crate::ft::ckpt::CheckpointBlob::decode(&blob)
-                .expect("corrupt checkpoint blob");
+            let ckpt =
+                crate::ft::ckpt::CheckpointBlob::decode(&blob).expect("corrupt checkpoint blob");
             let (_, v, bytes) = ckpt
                 .home_pages
                 .into_iter()
@@ -559,9 +653,15 @@ fn serve_rec_page(st: &mut NodeState, from: ProcId, page: PageId, tckp: VectorCl
             break;
         }
     }
-    let (version, bytes) =
-        found.unwrap_or_else(|| (VectorClock::zero(n), vec![0u8; st.page_size]));
-    st.send(from, Payload::RecPageReply { page, version, bytes });
+    let (version, bytes) = found.unwrap_or_else(|| (VectorClock::zero(n), vec![0u8; st.page_size]));
+    st.send(
+        from,
+        Payload::RecPageReply {
+            page,
+            version,
+            bytes,
+        },
+    );
 }
 
 /// The highest page a payload references, if any.
@@ -586,42 +686,107 @@ pub(crate) fn handle_msg(st: &mut NodeState, from: ProcId, payload: Payload) {
     match payload {
         Payload::LockAcq { lock, acq_seq, vt } => {
             debug_assert_eq!(lock % st.n, st.me, "lock request at wrong manager");
-            if let Some(a) =
-                st.lock_mgr.on_request(lock, AcqReq { requester: from, acq_seq, vt })
-            {
+            if let Some(a) = st.lock_mgr.on_request(
+                lock,
+                AcqReq {
+                    requester: from,
+                    acq_seq,
+                    vt,
+                },
+            ) {
                 dispatch_lock_action(st, a);
             }
         }
-        Payload::LockForward { lock, requester, acq_seq, gen, pred_acq, vt } => {
+        Payload::LockForward {
+            lock,
+            requester,
+            acq_seq,
+            gen,
+            pred_acq,
+            vt,
+        } => {
             handle_forward(st, lock, requester, acq_seq, gen, pred_acq, vt);
         }
-        Payload::LockGrant { lock, acq_seq, gen, vt, wns } => {
-            st.deposit_grant(GrantData { lock, acq_seq, gen, granter: from, vt, wns });
+        Payload::LockGrant {
+            lock,
+            acq_seq,
+            gen,
+            vt,
+            wns,
+        } => {
+            st.deposit_grant(GrantData {
+                lock,
+                acq_seq,
+                gen,
+                granter: from,
+                vt,
+                wns,
+            });
         }
         Payload::DiffBatch { diffs } => {
             for d in &diffs {
+                let t0 = Instant::now();
                 st.pt.home_apply_diff(d);
+                st.hists.diff_apply.record(t0.elapsed().as_nanos() as u64);
+                if st.tracer.enabled() {
+                    st.tracer.emit(EventKind::DiffApply {
+                        page: d.page.0,
+                        bytes: d.payload_bytes() as u32,
+                    });
+                }
             }
             serve_waiting_fetches(st);
         }
-        Payload::BarrierArrive { episode, vt, own_wns } => {
-            barrier_manager_arrive(st, Arrival { proc: from, episode, vt, own_wns });
+        Payload::BarrierArrive {
+            episode,
+            vt,
+            own_wns,
+        } => {
+            barrier_manager_arrive(
+                st,
+                Arrival {
+                    proc: from,
+                    episode,
+                    vt,
+                    own_wns,
+                },
+            );
         }
         Payload::BarrierRelease { episode, vt, wns } => {
             st.deposit_release(ReleaseData { episode, vt, wns });
         }
-        Payload::PageReq { page, needed, req_id } => {
+        Payload::PageReq {
+            page,
+            needed,
+            req_id,
+        } => {
             if st.pt.is_home(page) && st.pt.home_satisfies(page, &needed) {
                 let h = st.pt.home_meta(page);
                 let version = h.version.clone();
                 let bytes = h.copy.bytes().to_vec();
-                st.send(from, Payload::PageReply { page, req_id, version, bytes });
+                st.send(
+                    from,
+                    Payload::PageReply {
+                        page,
+                        req_id,
+                        version,
+                        bytes,
+                    },
+                );
             } else {
-                assert!(st.pt.is_home(page), "PageReq for page {page} not homed here");
+                assert!(
+                    st.pt.is_home(page),
+                    "PageReq for page {page} not homed here"
+                );
                 st.waiting_fetches.push((from, page, needed, req_id));
             }
         }
-        Payload::PageReply { req_id, version, bytes, .. } => {
+        Payload::PageReply {
+            req_id,
+            version,
+            bytes,
+            ..
+        } => {
             st.deposit_page(req_id, version, bytes);
         }
         Payload::RecLogReq => {
@@ -641,7 +806,9 @@ pub(crate) fn handle_msg(st: &mut NodeState, from: ProcId, payload: Payload) {
         }
         // Replies to *our* recovery arriving after we already went live are
         // stale duplicates.
-        Payload::RecLogReply { .. } | Payload::RecPageReply { .. } | Payload::RecDiffReply { .. } => {}
+        Payload::RecLogReply { .. }
+        | Payload::RecPageReply { .. }
+        | Payload::RecDiffReply { .. } => {}
     }
 }
 
@@ -664,17 +831,48 @@ pub(crate) fn handle_node_up(st: &mut NodeState, node: ProcId) {
         dispatch_lock_action(st, a);
     }
     match &st.wait {
-        WaitSlot::Page { page, req_id, home, needed, reply: None } if *home == node => {
+        WaitSlot::Page {
+            page,
+            req_id,
+            home,
+            needed,
+            reply: None,
+        } if *home == node => {
             let (page, req_id, needed) = (*page, *req_id, needed.clone());
-            st.send(node, Payload::PageReq { page, needed, req_id });
+            st.send(
+                node,
+                Payload::PageReq {
+                    page,
+                    needed,
+                    req_id,
+                },
+            );
         }
-        WaitSlot::Lock { lock, acq_seq, manager, req_vt, grant: None } if *manager == node => {
+        WaitSlot::Lock {
+            lock,
+            acq_seq,
+            manager,
+            req_vt,
+            grant: None,
+        } if *manager == node => {
             let (lock, acq_seq, vt) = (*lock, *acq_seq, req_vt.clone());
             st.send(node, Payload::LockAcq { lock, acq_seq, vt });
         }
-        WaitSlot::Barrier { episode, arrive_vt, own_wns, release: None } if node == 0 => {
+        WaitSlot::Barrier {
+            episode,
+            arrive_vt,
+            own_wns,
+            release: None,
+        } if node == 0 => {
             let (episode, vt, own_wns) = (*episode, arrive_vt.clone(), own_wns.clone());
-            st.send(node, Payload::BarrierArrive { episode, vt, own_wns });
+            st.send(
+                node,
+                Payload::BarrierArrive {
+                    episode,
+                    vt,
+                    own_wns,
+                },
+            );
         }
         _ => {}
     }
@@ -690,7 +888,9 @@ pub(crate) fn service_loop(shared: Arc<NodeShared>) {
                 return;
             }
         }
-        let Some(ev) = ep.recv_timeout(Duration::from_millis(10)) else { continue };
+        let Some(ev) = ep.recv_timeout(Duration::from_millis(10)) else {
+            continue;
+        };
         let mut st = shared.state.lock();
         let t0 = Instant::now();
         match ev {
@@ -774,6 +974,8 @@ mod tests {
             recoveries: 0,
             ep,
             breakdown_acc: Default::default(),
+            tracer: NodeTracer::disabled(),
+            hists: Default::default(),
         };
         eps.remove(me);
         (st, eps)
@@ -783,9 +985,13 @@ mod tests {
     fn forward_behind_released_tenure_grants_immediately() {
         let (mut st, _eps) = test_state(0, 3, false);
         st.tenure.insert(9, (4, true)); // our acquisition #4, released
-        st.last_release_vt.insert(9, VectorClock::from_vec(vec![2, 0, 0]));
+        st.last_release_vt
+            .insert(9, VectorClock::from_vec(vec![2, 0, 0]));
         handle_forward(&mut st, 9, 1, 0, 10, 4, VectorClock::zero(3));
-        assert!(st.pending_grants.is_empty(), "released tenure must grant now");
+        assert!(
+            st.pending_grants.is_empty(),
+            "released tenure must grant now"
+        );
     }
 
     #[test]
@@ -812,7 +1018,11 @@ mod tests {
             grant: None,
         };
         handle_forward(&mut st, 9, 2, 0, 11, 5, VectorClock::zero(3));
-        assert_eq!(st.pending_grants[&9].len(), 1, "in-flight tenure must queue");
+        assert_eq!(
+            st.pending_grants[&9].len(),
+            1,
+            "in-flight tenure must queue"
+        );
     }
 
     #[test]
@@ -825,11 +1035,19 @@ mod tests {
     #[test]
     fn forward_retransmission_replays_logged_grant() {
         let (mut st, _eps) = test_state(0, 3, true);
-        st.last_release_vt.insert(9, VectorClock::from_vec(vec![3, 0, 0]));
+        st.last_release_vt
+            .insert(9, VectorClock::from_vec(vec![3, 0, 0]));
         st.tenure.insert(9, (0, true));
         // First forward: grants and logs.
         handle_forward(&mut st, 9, 1, 7, 10, 0, VectorClock::zero(3));
-        let logged = st.ft.as_ref().unwrap().logs.find_rel(1, 7).cloned().unwrap();
+        let logged = st
+            .ft
+            .as_ref()
+            .unwrap()
+            .logs
+            .find_rel(1, 7)
+            .cloned()
+            .unwrap();
         // Retransmission (zero-length vt, as after a crash): identical grant
         // from the log, no new rel entry.
         handle_forward(&mut st, 9, 1, 7, 10, 0, VectorClock::zero(0));
@@ -884,7 +1102,11 @@ mod tests {
         handle_msg(
             &mut st,
             1,
-            Payload::PageReq { page: PageId(5), needed: VectorClock::zero(2), req_id: 0 },
+            Payload::PageReq {
+                page: PageId(5),
+                needed: VectorClock::zero(2),
+                req_id: 0,
+            },
         );
         assert_eq!(st.pending_unalloc.len(), 1);
         for _ in 0..6 {

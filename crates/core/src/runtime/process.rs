@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 
 use dsm_page::{GlobalAddr, Layout, PageId, VectorClock};
 use dsm_storage::{ByteReader, ByteWriter};
+use dsm_trace::EventKind;
 use hlrc::barrier::Arrival;
 use hlrc::locks::AcqReq;
 use hlrc::{AccessOutcome, LockId};
@@ -76,7 +77,9 @@ impl AppState for Vec<f64> {
     }
     fn decode(r: &mut ByteReader) -> Self {
         let len = r.get_u64().expect("corrupt app state") as usize;
-        (0..len).map(|_| r.get_f64().expect("corrupt app state")).collect()
+        (0..len)
+            .map(|_| r.get_f64().expect("corrupt app state"))
+            .collect()
     }
 }
 
@@ -123,6 +126,7 @@ fn begin_op(shared: &NodeShared) -> MutexGuard<'_, NodeState> {
     if let Some(&t) = st.crash_queue.first() {
         if st.ops >= t && st.mode == Mode::Normal && st.replay.is_none() {
             st.crash_queue.remove(0);
+            st.tracer.emit(EventKind::CrashInjected { at_op: st.ops });
             drop(st);
             std::panic::panic_any(CrashSignal);
         }
@@ -254,7 +258,11 @@ impl Process {
     /// Allocate a typed shared array.
     pub fn alloc_vec<T: Shareable>(&mut self, len: usize, home: HomeAlloc) -> SharedVec<T> {
         let base = self.alloc((len * T::BYTES) as u64, home);
-        SharedVec { base, len, _t: std::marker::PhantomData }
+        SharedVec {
+            base,
+            len,
+            _t: std::marker::PhantomData,
+        }
     }
 
     // ---- reads and writes ----------------------------------------------------
@@ -346,13 +354,21 @@ impl Process {
                         continue;
                     }
                     let t0 = Instant::now();
+                    st.tracer.emit(EventKind::PageFault { page: page.0 });
                     if home == self.me {
                         // Wait for in-flight diffs to reach our own copy.
                         wait_until(&shared, &mut st, |st| {
-                            matches!(st.pt.ensure_access(page), AccessOutcome::Ready)
-                                .then_some(())
+                            matches!(st.pt.ensure_access(page), AccessOutcome::Ready).then_some(())
                         });
                         self.breakdown.page_wait += t0.elapsed();
+                        st.hists.page_fetch.record(t0.elapsed().as_nanos() as u64);
+                        st.tracer.emit_span(
+                            EventKind::PageReply {
+                                page: page.0,
+                                from: home,
+                            },
+                            t0,
+                        );
                         return;
                     }
                     let req_id = st.req_id_next;
@@ -364,7 +380,14 @@ impl Process {
                         needed: needed.clone(),
                         reply: None,
                     };
-                    st.send(home, Payload::PageReq { page, needed, req_id });
+                    st.send(
+                        home,
+                        Payload::PageReq {
+                            page,
+                            needed,
+                            req_id,
+                        },
+                    );
                     let (version, bytes) = wait_until(&shared, &mut st, |st| {
                         if let WaitSlot::Page { reply, .. } = &mut st.wait {
                             reply.take()
@@ -375,6 +398,14 @@ impl Process {
                     st.wait = WaitSlot::None;
                     st.pt.install_fetch(page, &bytes, &version);
                     self.breakdown.page_wait += t0.elapsed();
+                    st.hists.page_fetch.record(t0.elapsed().as_nanos() as u64);
+                    st.tracer.emit_span(
+                        EventKind::PageReply {
+                            page: page.0,
+                            from: home,
+                        },
+                        t0,
+                    );
                     return;
                 }
             }
@@ -462,7 +493,10 @@ impl Process {
             let mut changed = false;
             for e in fresh {
                 if e.diff.interval.seq > rp.version.get(me)
-                    && !rp.entries.iter().any(|x| x.diff.interval == e.diff.interval)
+                    && !rp
+                        .entries
+                        .iter()
+                        .any(|x| x.diff.interval == e.diff.interval)
                 {
                     rp.entries.push(e);
                     changed = true;
@@ -501,7 +535,11 @@ impl Process {
     pub fn acquire(&mut self, lock: LockId) {
         let shared = Arc::clone(&self.shared);
         let mut st = begin_op(&shared);
-        assert!(!st.held.contains(&lock), "node {} re-acquiring held lock {lock}", self.me);
+        assert!(
+            !st.held.contains(&lock),
+            "node {} re-acquiring held lock {lock}",
+            self.me
+        );
         if st.replay.is_some() {
             if self.try_replay_acquire(&mut st, lock) {
                 return;
@@ -511,6 +549,7 @@ impl Process {
         let acq_seq = st.acq_seq_next;
         st.acq_seq_next += 1;
         let manager = lock % st.n;
+        st.tracer.emit(EventKind::LockRequest { lock: lock as u32 });
         let req_vt = st.vt.clone();
         st.wait = WaitSlot::Lock {
             lock,
@@ -522,12 +561,23 @@ impl Process {
         if manager == self.me {
             if let Some(a) = st.lock_mgr.on_request(
                 lock,
-                AcqReq { requester: self.me, acq_seq, vt: req_vt },
+                AcqReq {
+                    requester: self.me,
+                    acq_seq,
+                    vt: req_vt,
+                },
             ) {
                 dispatch_lock_action(&mut st, a);
             }
         } else {
-            st.send(manager, Payload::LockAcq { lock, acq_seq, vt: req_vt });
+            st.send(
+                manager,
+                Payload::LockAcq {
+                    lock,
+                    acq_seq,
+                    vt: req_vt,
+                },
+            );
         }
         let t0 = Instant::now();
         let g = wait_until(&shared, &mut st, |st| {
@@ -539,6 +589,9 @@ impl Process {
         });
         st.wait = WaitSlot::None;
         self.breakdown.lock_wait += t0.elapsed();
+        st.hists.lock_wait.record(t0.elapsed().as_nanos() as u64);
+        st.tracer
+            .emit_span(EventKind::LockAcquire { lock: lock as u32 }, t0);
         self.apply_grant(&mut st, g);
     }
 
@@ -607,7 +660,13 @@ impl Process {
                 // carries no notices).
                 let later_rel = replay.rel.keys().any(|&s| s > acq_seq);
                 let later_bar = replay.bar_results.keys().any(|&e| e >= st.bar_episode);
-                if !(later_rel || later_bar) {
+                // A grant we *gave* (mirrored in a peer's acq_log) or a
+                // peer diff whose timestamp carries our component beyond
+                // the replayed clock is equally conclusive: peers can only
+                // have seen interval vt[me]+1 if the op that created it —
+                // at or after this acquire — completed before the crash.
+                let later_iv = replay.evidence_self > st.vt.get(st.me);
+                if !(later_rel || later_bar || later_iv) {
                     return false;
                 }
                 st.acq_seq_next += 1;
@@ -618,10 +677,17 @@ impl Process {
                 st.held.insert(lock);
                 if lock % st.n == self.me {
                     // We also manage this lock: our self-grant proves we
-                    // were the chain tail, overriding whatever older
-                    // generation peers reported during the handshake.
+                    // were the chain tail *at this tenure*. Claim the tail
+                    // only if the handshake restored no newer grant — a
+                    // peer tail means the chain moved past us before the
+                    // crash (the grant that made us tail is reported by
+                    // its granter, so a peer tail is a newer generation)
+                    // and stomping it would let our post-recovery acquire
+                    // self-grant without the peers' write notices.
                     let me = self.me;
-                    st.lock_mgr.force_tail(lock, me, acq_seq);
+                    if st.lock_mgr.tail_of(lock).is_none_or(|t| t == me) {
+                        st.lock_mgr.force_tail(lock, me, acq_seq);
+                    }
                 }
                 apply_pending_home(st);
                 true
@@ -648,7 +714,11 @@ impl Process {
     pub fn release(&mut self, lock: LockId) {
         let shared = Arc::clone(&self.shared);
         let mut st = begin_op(&shared);
-        assert!(st.held.contains(&lock), "node {} releasing unheld lock {lock}", self.me);
+        assert!(
+            st.held.contains(&lock),
+            "node {} releasing unheld lock {lock}",
+            self.me
+        );
         let (p, l) = end_interval(&mut st);
         self.breakdown.protocol += p;
         self.breakdown.logging += l;
@@ -696,6 +766,9 @@ impl Process {
         self.breakdown.protocol += p;
         self.breakdown.logging += l;
         let episode = st.bar_episode;
+        st.tracer.emit(EventKind::BarrierEnter {
+            episode: episode as u32,
+        });
         let arrive_vt = st.vt.clone();
         let own_wns = std::mem::take(&mut st.wn_since_barrier);
         let me = self.me;
@@ -711,10 +784,22 @@ impl Process {
         if me == 0 {
             barrier_manager_arrive(
                 &mut st,
-                Arrival { proc: 0, episode, vt: arrive_vt.clone(), own_wns },
+                Arrival {
+                    proc: 0,
+                    episode,
+                    vt: arrive_vt.clone(),
+                    own_wns,
+                },
             );
         } else {
-            st.send(0, Payload::BarrierArrive { episode, vt: arrive_vt.clone(), own_wns });
+            st.send(
+                0,
+                Payload::BarrierArrive {
+                    episode,
+                    vt: arrive_vt.clone(),
+                    own_wns,
+                },
+            );
         }
         let t0 = Instant::now();
         let rel: ReleaseData = wait_until(&shared, &mut st, |st| {
@@ -726,6 +811,13 @@ impl Process {
         });
         st.wait = WaitSlot::None;
         self.breakdown.barrier_wait += t0.elapsed();
+        st.hists.barrier_wait.record(t0.elapsed().as_nanos() as u64);
+        st.tracer.emit_span(
+            EventKind::BarrierRelease {
+                episode: episode as u32,
+            },
+            t0,
+        );
 
         let pre = st.vt.clone();
         st.vt.join(&rel.vt);
@@ -740,7 +832,11 @@ impl Process {
         }
         let result_vt = st.vt.clone();
         if let Some(ft) = st.ft.as_mut() {
-            ft.logs.log_bar(BarEntry { episode, arrive_vt, result_vt });
+            ft.logs.log_bar(BarEntry {
+                episode,
+                arrive_vt,
+                result_vt,
+            });
         }
         let crossed = st.bar_episode;
         st.bar_episode += 1;
@@ -753,7 +849,14 @@ impl Process {
 
     fn try_replay_barrier(&mut self, st: &mut MutexGuard<'_, NodeState>) -> bool {
         let episode = st.bar_episode;
-        let Some(result) = st.replay.as_ref().unwrap().bar_results.get(&episode).cloned() else {
+        let Some(result) = st
+            .replay
+            .as_ref()
+            .unwrap()
+            .bar_results
+            .get(&episode)
+            .cloned()
+        else {
             return false;
         };
         let (p, l) = end_interval(st);
@@ -770,7 +873,11 @@ impl Process {
         self.apply_replay_invalidations(st, &pre);
         let result_vt = st.vt.clone();
         if let Some(ft) = st.ft.as_mut() {
-            ft.logs.log_bar(BarEntry { episode, arrive_vt, result_vt });
+            ft.logs.log_bar(BarEntry {
+                episode,
+                arrive_vt,
+                result_vt,
+            });
         }
         st.bar_episode += 1;
         apply_pending_home(st);

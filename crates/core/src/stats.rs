@@ -10,6 +10,7 @@ use std::time::Duration;
 
 use dsm_net::stats::TrafficSnapshot;
 use dsm_storage::StoreStats;
+use dsm_trace::{LatencyHists, Trace};
 
 use crate::ft::logs::LogCounters;
 
@@ -95,6 +96,8 @@ pub struct NodeReport {
     pub ft: FtReport,
     /// DSM operations performed.
     pub ops: u64,
+    /// Protocol latency histograms (always collected; cheap).
+    pub hists: LatencyHists,
 }
 
 /// The result of a cluster run.
@@ -112,6 +115,9 @@ pub struct RunReport<R> {
     /// authoritative home copies). Crash-free and crash+recovery runs of a
     /// deterministic application must produce the same hash.
     pub shared_hash: u64,
+    /// The run's protocol trace (empty rings unless tracing was enabled);
+    /// export with [`dsm_trace::export`].
+    pub trace: Trace,
 }
 
 impl<R> RunReport<R> {
@@ -139,7 +145,20 @@ impl<R> RunReport<R> {
 
     /// Max checkpoint window across the cluster (Table 4 `Wmax`).
     pub fn max_ckpt_window(&self) -> usize {
-        self.nodes.iter().map(|n| n.ft.max_ckpt_window).max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .map(|n| n.ft.max_ckpt_window)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// All nodes' latency histograms folded together.
+    pub fn total_hists(&self) -> LatencyHists {
+        let mut acc = LatencyHists::default();
+        for n in &self.nodes {
+            acc.merge(&n.hists);
+        }
+        acc
     }
 }
 

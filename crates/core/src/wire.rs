@@ -54,7 +54,11 @@ pub fn get_diff(r: &mut ByteReader) -> Result<Diff, CodecError> {
         let bytes = r.get_bytes()?.to_vec();
         runs.push(DiffRun { offset, bytes });
     }
-    Ok(Diff { page, interval: Interval { proc: proc_, seq }, runs })
+    Ok(Diff {
+        page,
+        interval: Interval { proc: proc_, seq },
+        runs,
+    })
 }
 
 /// Encode a write notice.
@@ -69,7 +73,10 @@ pub fn get_wn(r: &mut ByteReader) -> Result<WriteNotice, CodecError> {
     let proc_ = r.get_u32()? as usize;
     let seq = r.get_u32()?;
     let pages = get_pages(r)?;
-    Ok(WriteNotice { interval: Interval { proc: proc_, seq }, pages })
+    Ok(WriteNotice {
+        interval: Interval { proc: proc_, seq },
+        pages,
+    })
 }
 
 #[cfg(test)]

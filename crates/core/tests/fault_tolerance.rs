@@ -38,7 +38,9 @@ fn expected_result(n: u64) -> u64 {
 }
 
 fn ft_cfg(n: usize, policy: CkptPolicy) -> ClusterConfig {
-    ClusterConfig::fault_tolerant(n).with_page_size(256).with_policy(policy)
+    ClusterConfig::fault_tolerant(n)
+        .with_page_size(256)
+        .with_policy(policy)
 }
 
 #[test]
@@ -56,7 +58,11 @@ fn ft_run_matches_base_run() {
 
 #[test]
 fn log_overflow_policy_checkpoints_and_bounds_logs() {
-    let report = run(ft_cfg(4, CkptPolicy::LogOverflow { l: 0.05 }), &[], stepped_app);
+    let report = run(
+        ft_cfg(4, CkptPolicy::LogOverflow { l: 0.05 }),
+        &[],
+        stepped_app,
+    );
     assert_eq!(report.results, vec![expected_result(4); 4]);
     assert!(report.total_ckpts() > 0, "OF policy should have triggered");
     for node in &report.nodes {
@@ -75,7 +81,10 @@ fn never_policy_logs_but_does_not_checkpoint() {
     let report = run(ft_cfg(3, CkptPolicy::Never), &[], stepped_app);
     assert_eq!(report.results, vec![expected_result(3); 3]);
     assert_eq!(report.total_ckpts(), 0);
-    assert!(report.nodes.iter().any(|n| n.ft.log_counters.created_bytes > 0));
+    assert!(report
+        .nodes
+        .iter()
+        .any(|n| n.ft.log_counters.created_bytes > 0));
 }
 
 #[test]
@@ -101,15 +110,24 @@ fn check_recovery(n: usize, victim: usize, at_op: u64, policy: CkptPolicy) {
     let clean = run(ft_cfg(n, policy), &[], stepped_app);
     let crashed = run(
         ft_cfg(n, policy),
-        &[FailureSpec { node: victim, at_op }],
+        &[FailureSpec {
+            node: victim,
+            at_op,
+        }],
         stepped_app,
     );
-    assert_eq!(clean.results, crashed.results, "results diverge after recovery");
+    assert_eq!(
+        clean.results, crashed.results,
+        "results diverge after recovery"
+    );
     assert_eq!(
         clean.shared_hash, crashed.shared_hash,
         "shared memory diverges after recovery"
     );
-    assert_eq!(crashed.nodes[victim].ft.recoveries, 1, "victim must have recovered");
+    assert_eq!(
+        crashed.nodes[victim].ft.recoveries, 1,
+        "victim must have recovered"
+    );
 }
 
 #[test]
@@ -145,7 +163,16 @@ fn recovery_with_two_sequential_failures() {
     let clean = run(ft_cfg(4, CkptPolicy::EverySteps(3)), &[], stepped_app);
     let crashed = run(
         ft_cfg(4, CkptPolicy::EverySteps(3)),
-        &[FailureSpec { node: 1, at_op: 150 }, FailureSpec { node: 2, at_op: 350 }],
+        &[
+            FailureSpec {
+                node: 1,
+                at_op: 150,
+            },
+            FailureSpec {
+                node: 2,
+                at_op: 350,
+            },
+        ],
         stepped_app,
     );
     assert_eq!(clean.results, crashed.results);
@@ -168,8 +195,11 @@ fn checkpoint_window_stays_bounded() {
 #[test]
 fn trimming_discards_logs() {
     let report = run(ft_cfg(4, CkptPolicy::EverySteps(2)), &[], stepped_app);
-    let discarded: u64 =
-        report.nodes.iter().map(|n| n.ft.log_counters.discarded_bytes).sum();
+    let discarded: u64 = report
+        .nodes
+        .iter()
+        .map(|n| n.ft.log_counters.discarded_bytes)
+        .sum();
     assert!(discarded > 0, "LLT never discarded anything");
 }
 
@@ -186,7 +216,16 @@ fn recovery_of_same_node_twice() {
     let clean = run(ft_cfg(4, CkptPolicy::EverySteps(3)), &[], stepped_app);
     let crashed = run(
         ft_cfg(4, CkptPolicy::EverySteps(3)),
-        &[FailureSpec { node: 2, at_op: 120 }, FailureSpec { node: 2, at_op: 320 }],
+        &[
+            FailureSpec {
+                node: 2,
+                at_op: 120,
+            },
+            FailureSpec {
+                node: 2,
+                at_op: 320,
+            },
+        ],
         stepped_app,
     );
     assert_eq!(clean.results, crashed.results);
@@ -226,7 +265,10 @@ fn base_protocol_rejects_failure_injection() {
             |p| p.me(),
         )
     });
-    assert!(result.is_err(), "failure injection without FT must be rejected");
+    assert!(
+        result.is_err(),
+        "failure injection without FT must be rejected"
+    );
 }
 
 #[test]
@@ -236,7 +278,10 @@ fn at_barrier_policy_aligns_checkpoints_across_nodes() {
     let report = run(ft_cfg(4, CkptPolicy::AtBarrier(4)), &[], stepped_app);
     assert_eq!(report.results, vec![expected_result(4); 4]);
     let counts: Vec<u64> = report.nodes.iter().map(|n| n.ft.ckpts_taken).collect();
-    assert!(counts.iter().all(|&c| c == counts[0] && c > 0), "misaligned: {counts:?}");
+    assert!(
+        counts.iter().all(|&c| c == counts[0] && c > 0),
+        "misaligned: {counts:?}"
+    );
 }
 
 #[test]

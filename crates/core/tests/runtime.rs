@@ -93,7 +93,9 @@ fn producer_consumer_through_lock_pair() {
         }
         acc
     });
-    let expected: u64 = (0..8u64).map(|r| (0..64u64).map(|i| r * 64 + i).sum::<u64>()).sum();
+    let expected: u64 = (0..8u64)
+        .map(|r| (0..64u64).map(|i| r * 64 + i).sum::<u64>())
+        .sum();
     assert_eq!(report.results[1], expected);
 }
 

@@ -4,6 +4,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use dsm_trace::{EventKind, NodeTracer};
 use parking_lot::RwLock;
 
 use crate::stats::FabricStats;
@@ -29,6 +30,10 @@ pub trait WireSized {
     /// Encoded size of the fault-tolerance control (piggyback) part.
     fn ft_wire_size(&self) -> usize {
         0
+    }
+    /// Short stable message-kind label for tracing (e.g. `"PageReq"`).
+    fn kind_name(&self) -> &'static str {
+        "msg"
     }
 }
 
@@ -83,7 +88,13 @@ impl<M: Send + WireSized> Fabric<M> {
         let endpoints = receivers
             .into_iter()
             .enumerate()
-            .map(|(id, rx)| Endpoint { id, n, rx, shared: Arc::clone(&shared) })
+            .map(|(id, rx)| Endpoint {
+                id,
+                n,
+                rx,
+                shared: Arc::clone(&shared),
+                tracer: NodeTracer::disabled(),
+            })
             .collect();
         (Fabric { shared, n }, endpoints)
     }
@@ -136,7 +147,10 @@ impl<M: Send + WireSized> Fabric<M> {
 
 impl<M> Clone for Fabric<M> {
     fn clone(&self) -> Self {
-        Fabric { shared: Arc::clone(&self.shared), n: self.n }
+        Fabric {
+            shared: Arc::clone(&self.shared),
+            n: self.n,
+        }
     }
 }
 
@@ -146,12 +160,31 @@ pub struct Endpoint<M> {
     n: usize,
     rx: Receiver<Event<M>>,
     shared: Arc<FabricShared<M>>,
+    tracer: NodeTracer,
 }
 
 impl<M: Send + WireSized> Endpoint<M> {
     /// This endpoint's node id.
     pub fn id(&self) -> NodeId {
         self.id
+    }
+
+    /// Attach a tracer so sends/receives emit `MsgSend`/`MsgRecv` events.
+    /// Called once at cluster construction, before the endpoint is shared.
+    pub fn attach_tracer(&mut self, tracer: NodeTracer) {
+        self.tracer = tracer;
+    }
+
+    fn note_recv(&self, ev: &Event<M>) {
+        if self.tracer.enabled() {
+            if let Event::Msg { from, msg } = ev {
+                self.tracer.emit(EventKind::MsgRecv {
+                    kind: msg.kind_name(),
+                    from: *from,
+                    bytes: (msg.base_wire_size() + msg.ft_wire_size()) as u32,
+                });
+            }
+        }
     }
 
     /// Cluster size.
@@ -171,27 +204,48 @@ impl<M: Send + WireSized> Endpoint<M> {
             return false;
         }
         traffic.record_send(msg.base_wire_size(), msg.ft_wire_size());
+        if self.tracer.enabled() {
+            self.tracer.emit(EventKind::MsgSend {
+                kind: msg.kind_name(),
+                to,
+                bytes: (msg.base_wire_size() + msg.ft_wire_size()) as u32,
+            });
+        }
         // Unbounded channel: send only fails if the receiver was dropped,
         // which only happens at cluster teardown.
-        self.shared.senders[to].send(Event::Msg { from: self.id, msg }).is_ok()
+        self.shared.senders[to]
+            .send(Event::Msg { from: self.id, msg })
+            .is_ok()
     }
 
     /// Blocking receive.
     pub fn recv(&self) -> Option<Event<M>> {
-        self.rx.recv().ok()
+        let ev = self.rx.recv().ok();
+        if let Some(ev) = &ev {
+            self.note_recv(ev);
+        }
+        ev
     }
 
     /// Receive with a timeout; `None` on timeout or disconnect.
     pub fn recv_timeout(&self, d: Duration) -> Option<Event<M>> {
-        match self.rx.recv_timeout(d) {
+        let ev = match self.rx.recv_timeout(d) {
             Ok(ev) => Some(ev),
             Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        };
+        if let Some(ev) = &ev {
+            self.note_recv(ev);
         }
+        ev
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<Event<M>> {
-        self.rx.try_recv().ok()
+        let ev = self.rx.try_recv().ok();
+        if let Some(ev) = &ev {
+            self.note_recv(ev);
+        }
+        ev
     }
 
     /// Discard everything queued for this endpoint (used when simulating the
@@ -231,8 +285,20 @@ mod tests {
         let (_fabric, eps) = Fabric::<TestMsg>::new(2);
         eps[0].send(1, TestMsg(1, 10, 0));
         eps[0].send(1, TestMsg(2, 10, 0));
-        assert_eq!(eps[1].recv(), Some(Event::Msg { from: 0, msg: TestMsg(1, 10, 0) }));
-        assert_eq!(eps[1].recv(), Some(Event::Msg { from: 0, msg: TestMsg(2, 10, 0) }));
+        assert_eq!(
+            eps[1].recv(),
+            Some(Event::Msg {
+                from: 0,
+                msg: TestMsg(1, 10, 0)
+            })
+        );
+        assert_eq!(
+            eps[1].recv(),
+            Some(Event::Msg {
+                from: 0,
+                msg: TestMsg(2, 10, 0)
+            })
+        );
     }
 
     #[test]

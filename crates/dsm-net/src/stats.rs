@@ -23,7 +23,8 @@ pub struct NodeTraffic {
 impl NodeTraffic {
     pub(crate) fn record_send(&self, base: usize, ft: usize) {
         self.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        self.base_bytes_sent.fetch_add(base as u64, Ordering::Relaxed);
+        self.base_bytes_sent
+            .fetch_add(base as u64, Ordering::Relaxed);
         self.ft_bytes_sent.fetch_add(ft as u64, Ordering::Relaxed);
     }
 
@@ -87,7 +88,9 @@ pub struct FabricStats {
 
 impl FabricStats {
     pub(crate) fn new(n: usize) -> Self {
-        FabricStats { per_node: (0..n).map(|_| NodeTraffic::default()).collect() }
+        FabricStats {
+            per_node: (0..n).map(|_| NodeTraffic::default()).collect(),
+        }
     }
 
     /// Counters for one node.
@@ -125,7 +128,11 @@ mod tests {
     fn overhead_fraction_guards_zero() {
         let t = TrafficSnapshot::default();
         assert_eq!(t.ft_overhead_fraction(), 0.0);
-        let t = TrafficSnapshot { base_bytes_sent: 200, ft_bytes_sent: 1, ..Default::default() };
+        let t = TrafficSnapshot {
+            base_bytes_sent: 200,
+            ft_bytes_sent: 1,
+            ..Default::default()
+        };
         assert!((t.ft_overhead_fraction() - 0.005).abs() < 1e-12);
     }
 }

@@ -54,7 +54,10 @@ impl Layout {
     /// Create a layout. `page_size` must be a power of two and a multiple of
     /// the 8-byte diff word.
     pub fn new(page_size: usize) -> Self {
-        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
         assert!(page_size >= 64, "page size unreasonably small");
         Layout { page_size }
     }

@@ -51,19 +51,29 @@ impl Diff {
             match (same, run_start) {
                 (false, None) => run_start = Some(off),
                 (true, Some(start)) => {
-                    runs.push(DiffRun { offset: start as u32, bytes: b[start..off].to_vec() });
+                    runs.push(DiffRun {
+                        offset: start as u32,
+                        bytes: b[start..off].to_vec(),
+                    });
                     run_start = None;
                 }
                 _ => {}
             }
         }
         if let Some(start) = run_start {
-            runs.push(DiffRun { offset: start as u32, bytes: b[start..].to_vec() });
+            runs.push(DiffRun {
+                offset: start as u32,
+                bytes: b[start..].to_vec(),
+            });
         }
         if runs.is_empty() {
             None
         } else {
-            Some(Diff { page, interval, runs })
+            Some(Diff {
+                page,
+                interval,
+                runs,
+            })
         }
     }
 

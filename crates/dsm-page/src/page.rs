@@ -17,14 +17,24 @@ impl Page {
     /// A zero-filled page of `size` bytes. `size` must be a multiple of
     /// [`PAGE_ALIGN_WORD`].
     pub fn zeroed(size: usize) -> Self {
-        assert!(size.is_multiple_of(PAGE_ALIGN_WORD), "page size must be 8-byte aligned");
-        Page { data: vec![0u8; size].into_boxed_slice() }
+        assert!(
+            size.is_multiple_of(PAGE_ALIGN_WORD),
+            "page size must be 8-byte aligned"
+        );
+        Page {
+            data: vec![0u8; size].into_boxed_slice(),
+        }
     }
 
     /// A page initialized from `bytes`.
     pub fn from_bytes(bytes: &[u8]) -> Self {
-        assert!(bytes.len().is_multiple_of(PAGE_ALIGN_WORD), "page size must be 8-byte aligned");
-        Page { data: bytes.to_vec().into_boxed_slice() }
+        assert!(
+            bytes.len().is_multiple_of(PAGE_ALIGN_WORD),
+            "page size must be 8-byte aligned"
+        );
+        Page {
+            data: bytes.to_vec().into_boxed_slice(),
+        }
     }
 
     /// Page size in bytes.

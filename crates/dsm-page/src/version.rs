@@ -76,7 +76,10 @@ impl VectorClock {
     /// Advance process `p`'s own entry by one and return the new interval.
     pub fn tick(&mut self, p: ProcId) -> Interval {
         self.v[p] += 1;
-        Interval { proc: p, seq: self.v[p] }
+        Interval {
+            proc: p,
+            seq: self.v[p],
+        }
     }
 
     /// Elementwise maximum (lattice join) with `other`, in place.
@@ -149,7 +152,9 @@ impl std::fmt::Display for VectorClock {
 
 /// Elementwise minimum over a non-empty iterator of clocks: the paper's
 /// `Tmin = min_{j} T^j_ckp`.
-pub fn elementwise_min<'a>(mut clocks: impl Iterator<Item = &'a VectorClock>) -> Option<VectorClock> {
+pub fn elementwise_min<'a>(
+    mut clocks: impl Iterator<Item = &'a VectorClock>,
+) -> Option<VectorClock> {
     let first = clocks.next()?.clone();
     Some(clocks.fold(first, |mut acc, c| {
         acc.meet(c);

@@ -34,7 +34,10 @@ impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CodecError::UnexpectedEof { wanted, remaining } => {
-                write!(f, "unexpected end of input: wanted {wanted} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "unexpected end of input: wanted {wanted} bytes, {remaining} remain"
+                )
             }
             CodecError::BadTag { context, tag } => write!(f, "bad tag {tag} decoding {context}"),
             CodecError::LengthOverflow { len } => write!(f, "length field too large: {len}"),
@@ -62,7 +65,9 @@ impl ByteWriter {
 
     /// A writer with pre-reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        ByteWriter { buf: Vec::with_capacity(cap) }
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Bytes encoded so far.
@@ -140,7 +145,10 @@ impl<'a> ByteReader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if self.remaining() < n {
-            return Err(CodecError::UnexpectedEof { wanted: n, remaining: self.remaining() });
+            return Err(CodecError::UnexpectedEof {
+                wanted: n,
+                remaining: self.remaining(),
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -227,7 +235,13 @@ mod tests {
     #[test]
     fn eof_is_reported_not_panicked() {
         let mut r = ByteReader::new(&[1, 2]);
-        assert!(matches!(r.get_u32(), Err(CodecError::UnexpectedEof { wanted: 4, remaining: 2 })));
+        assert!(matches!(
+            r.get_u32(),
+            Err(CodecError::UnexpectedEof {
+                wanted: 4,
+                remaining: 2
+            })
+        ));
     }
 
     #[test]
@@ -236,6 +250,9 @@ mod tests {
         w.put_u64(u64::MAX); // absurd length prefix
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes);
-        assert!(matches!(r.get_bytes(), Err(CodecError::LengthOverflow { .. })));
+        assert!(matches!(
+            r.get_bytes(),
+            Err(CodecError::LengthOverflow { .. })
+        ));
     }
 }

@@ -88,7 +88,10 @@ mod tests {
         let t = m.write_time(1_000_000);
         assert!((t.as_secs_f64() - 1.010).abs() < 1e-9);
 
-        let scaled = DiskModel { time_scale: 0.1, ..m };
+        let scaled = DiskModel {
+            time_scale: 0.1,
+            ..m
+        };
         assert!((scaled.write_time(1_000_000).as_secs_f64() - 0.101).abs() < 1e-9);
     }
 

@@ -55,7 +55,10 @@ pub struct StableStore {
 impl StableStore {
     /// An empty store backed by the given disk model.
     pub fn new(disk: DiskModel) -> Self {
-        StableStore { disk, inner: Mutex::new(Inner::default()) }
+        StableStore {
+            disk,
+            inner: Mutex::new(Inner::default()),
+        }
     }
 
     /// The disk model in use.
@@ -95,6 +98,15 @@ impl StableStore {
         self.inner.lock().segments.remove(&(kind, id)).is_some()
     }
 
+    /// Size in bytes of segment `(kind, id)`, if live.
+    pub fn segment_len(&self, kind: SegmentKind, id: u64) -> Option<u64> {
+        self.inner
+            .lock()
+            .segments
+            .get(&(kind, id))
+            .map(|v| v.len() as u64)
+    }
+
     /// Ids of live segments of `kind`, ascending.
     pub fn segment_ids(&self, kind: SegmentKind) -> Vec<u64> {
         self.inner
@@ -119,7 +131,12 @@ impl StableStore {
 
     /// Currently retained bytes across all kinds.
     pub fn total_live_bytes(&self) -> u64 {
-        self.inner.lock().segments.values().map(|v| v.len() as u64).sum()
+        self.inner
+            .lock()
+            .segments
+            .values()
+            .map(|v| v.len() as u64)
+            .sum()
     }
 
     /// Snapshot of cumulative statistics.
@@ -141,7 +158,10 @@ mod tests {
     fn write_read_delete_roundtrip() {
         let s = store();
         s.write_segment(SegmentKind::Checkpoint, 1, vec![1, 2, 3]);
-        assert_eq!(s.read_segment(SegmentKind::Checkpoint, 1), Some(vec![1, 2, 3]));
+        assert_eq!(
+            s.read_segment(SegmentKind::Checkpoint, 1),
+            Some(vec![1, 2, 3])
+        );
         assert!(s.delete_segment(SegmentKind::Checkpoint, 1));
         assert_eq!(s.read_segment(SegmentKind::Checkpoint, 1), None);
         assert!(!s.delete_segment(SegmentKind::Checkpoint, 1));

@@ -1,0 +1,167 @@
+//! Trace exporters: JSONL (one event per line) and the Chrome trace-event
+//! format (loadable in Perfetto or `chrome://tracing`).
+
+use std::io::{self, Write};
+
+use crate::event::Event;
+use crate::Trace;
+
+/// Serialize one event as a JSONL record.
+fn event_jsonl(e: &Event) -> String {
+    let mut s = format!(
+        "{{\"ts_ns\":{},\"node\":{},\"event\":\"{}\"",
+        e.ts_ns,
+        e.node,
+        e.kind.name()
+    );
+    if e.dur_ns > 0 {
+        s.push_str(&format!(",\"dur_ns\":{}", e.dur_ns));
+    }
+    let args = e.kind.args_json();
+    if !args.is_empty() {
+        s.push(',');
+        s.push_str(&args);
+    }
+    s.push('}');
+    s
+}
+
+/// Write the merged trace as JSONL: one JSON object per line, sorted by
+/// timestamp.
+pub fn write_jsonl(trace: &Trace, out: &mut dyn Write) -> io::Result<()> {
+    for e in trace.all_events() {
+        writeln!(out, "{}", event_jsonl(&e))?;
+    }
+    Ok(())
+}
+
+/// JSONL export into a string.
+pub fn to_jsonl(trace: &Trace) -> String {
+    let mut buf = Vec::new();
+    write_jsonl(trace, &mut buf).expect("in-memory write cannot fail");
+    String::from_utf8(buf).expect("exporter emits UTF-8")
+}
+
+/// One Chrome trace-event record. Span events (`dur_ns > 0`) become
+/// complete events (`ph:"X"`); the rest become instants (`ph:"i"`).
+/// Timestamps are microseconds as required by the format.
+fn event_chrome(e: &Event) -> String {
+    let ts_us = e.ts_ns as f64 / 1000.0;
+    let args = e.kind.args_json();
+    let args_obj = if args.is_empty() {
+        "{}".to_string()
+    } else {
+        format!("{{{args}}}")
+    };
+    if e.dur_ns > 0 {
+        let dur_us = (e.dur_ns as f64 / 1000.0).max(0.001);
+        format!(
+            "{{\"name\":\"{}\",\"cat\":\"dsm\",\"ph\":\"X\",\"ts\":{ts_us:.3},\"dur\":{dur_us:.3},\"pid\":1,\"tid\":{},\"args\":{args_obj}}}",
+            e.kind.name(),
+            e.node
+        )
+    } else {
+        format!(
+            "{{\"name\":\"{}\",\"cat\":\"dsm\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts_us:.3},\"pid\":1,\"tid\":{},\"args\":{args_obj}}}",
+            e.kind.name(),
+            e.node
+        )
+    }
+}
+
+/// Write the merged trace in Chrome trace-event JSON. Each node gets its
+/// own lane (`tid`), named via `thread_name` metadata so Perfetto shows
+/// "node 0", "node 1", … rows under one "dsm cluster" process.
+pub fn write_chrome_trace(trace: &Trace, out: &mut dyn Write) -> io::Result<()> {
+    write!(out, "{{\"traceEvents\":[")?;
+    write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{{\"name\":\"dsm cluster\"}}}}"
+    )?;
+    for node in 0..trace.n_nodes() {
+        write!(
+            out,
+            ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{node},\"args\":{{\"name\":\"node {node}\"}}}}"
+        )?;
+    }
+    for e in trace.all_events() {
+        write!(out, ",{}", event_chrome(&e))?;
+    }
+    write!(out, "],\"displayTimeUnit\":\"ns\"}}")?;
+    Ok(())
+}
+
+/// Chrome trace export into a string.
+pub fn to_chrome_trace(trace: &Trace) -> String {
+    let mut buf = Vec::new();
+    write_chrome_trace(trace, &mut buf).expect("in-memory write cannot fail");
+    String::from_utf8(buf).expect("exporter emits UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventKind, RecPhase, TraceConfig};
+    use std::time::Instant;
+
+    fn sample_trace() -> Trace {
+        let t = Trace::new(2, &TraceConfig::enabled());
+        let a = t.tracer(0);
+        let b = t.tracer(1);
+        a.emit(EventKind::PageFault { page: 7 });
+        b.emit(EventKind::MsgSend {
+            kind: "PageReq",
+            to: 0,
+            bytes: 16,
+        });
+        a.emit_span(
+            EventKind::RecoveryPhase {
+                phase: RecPhase::Restore,
+            },
+            Instant::now(),
+        );
+        t
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let t = sample_trace();
+        let text = to_jsonl(&t);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            let v = crate::json::parse(line).unwrap();
+            assert!(v.get("ts_ns").is_some());
+            assert!(v.get("node").is_some());
+            assert!(v.get("event").unwrap().as_str().is_some());
+        }
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_has_lanes() {
+        let t = sample_trace();
+        let text = to_chrome_trace(&t);
+        let v = crate::json::parse(&text).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // 1 process_name + 2 thread_name + 3 events
+        assert_eq!(events.len(), 6);
+        let lanes: std::collections::BTreeSet<i64> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() != Some("M"))
+            .map(|e| e.get("tid").unwrap().as_num().unwrap() as i64)
+            .collect();
+        assert_eq!(lanes.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+        // The span event carries a duration.
+        assert!(events
+            .iter()
+            .any(|e| { e.get("ph").unwrap().as_str() == Some("X") && e.get("dur").is_some() }));
+    }
+
+    #[test]
+    fn empty_trace_still_valid_chrome_json() {
+        let t = Trace::disabled(3);
+        let v = crate::json::parse(&to_chrome_trace(&t)).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 4); // process_name + 3 thread_name
+    }
+}

@@ -1,0 +1,64 @@
+//! Crash flight recorder: a global registry of live traces whose event
+//! tails can be dumped when something goes wrong (panic, watchdog
+//! timeout, failed run).
+
+use std::sync::{Mutex, OnceLock, PoisonError, Weak};
+
+use crate::Shared;
+
+static RECORDERS: OnceLock<Mutex<Vec<Weak<Shared>>>> = OnceLock::new();
+
+fn registry() -> &'static Mutex<Vec<Weak<Shared>>> {
+    RECORDERS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+pub(crate) fn register(shared: Weak<Shared>) {
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    // Drop registrations whose runs already finished.
+    reg.retain(|w| w.strong_count() > 0);
+    reg.push(shared);
+}
+
+/// Re-export with a doc-friendly name: register a trace so panics dump it.
+pub fn register_flight_recorder(trace: &crate::Trace) {
+    trace.register_flight_recorder();
+}
+
+/// Dump the tail of every registered, still-live trace to stderr.
+/// `reason` is printed in the header. Intended to be called from a panic
+/// hook or watchdog; best-effort, never panics.
+pub fn dump_flight_recorders(reason: &str) {
+    let reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    let live: Vec<_> = reg.iter().filter_map(|w| w.upgrade()).collect();
+    drop(reg);
+    if live.is_empty() {
+        return;
+    }
+    let mut err = std::io::stderr().lock();
+    use std::io::Write;
+    let _ = writeln!(err, "=== dsm-trace flight recorder: {reason} ===");
+    for shared in live {
+        let _ = shared.dump_tail(&mut err);
+    }
+    let _ = writeln!(err, "=== end flight recorder ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{EventKind, Trace, TraceConfig};
+
+    #[test]
+    fn dump_survives_registered_and_dropped_traces() {
+        let t = Trace::new(1, &TraceConfig::enabled());
+        t.register_flight_recorder();
+        t.tracer(0).emit(EventKind::PageFault { page: 1 });
+        // A trace that dies before the dump must be skipped silently.
+        {
+            let dead = Trace::new(1, &TraceConfig::enabled());
+            dead.register_flight_recorder();
+        }
+        super::dump_flight_recorders("unit test");
+        drop(t);
+        super::dump_flight_recorders("after drop (no live traces)");
+    }
+}

@@ -1,0 +1,135 @@
+//! Bounded per-node event ring buffer.
+
+use crate::event::Event;
+
+/// Fixed-capacity ring keeping the most recent events plus a running count
+/// of everything ever pushed (so exporters can report drops).
+#[derive(Debug)]
+pub struct Ring {
+    buf: Vec<Event>,
+    cap: usize,
+    total: u64,
+}
+
+impl Ring {
+    /// Create a ring holding at most `cap` events (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        Ring {
+            buf: Vec::new(),
+            cap: cap.max(1),
+            total: 0,
+        }
+    }
+
+    /// Append an event, overwriting the oldest once full.
+    pub fn push(&mut self, e: Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push(e);
+        } else {
+            let idx = (self.total % self.cap as u64) as usize;
+            self.buf[idx] = e;
+        }
+        self.total += 1;
+    }
+
+    /// Events ever pushed (≥ `len`).
+    pub fn total_pushed(&self) -> u64 {
+        self.total
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of events that fell off the ring.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// Retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        if self.buf.len() < self.cap {
+            return self.buf.clone();
+        }
+        let split = (self.total % self.cap as u64) as usize;
+        let mut out = Vec::with_capacity(self.cap);
+        out.extend_from_slice(&self.buf[split..]);
+        out.extend_from_slice(&self.buf[..split]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(i: u64) -> Event {
+        Event {
+            ts_ns: i,
+            dur_ns: 0,
+            node: 0,
+            kind: EventKind::PageFault { page: i as u32 },
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps_keeping_newest() {
+        let mut r = Ring::new(4);
+        for i in 0..10 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total_pushed(), 10);
+        assert_eq!(r.dropped(), 6);
+        let ts: Vec<u64> = r.snapshot().iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn snapshot_before_wrap_is_in_order() {
+        let mut r = Ring::new(8);
+        for i in 0..3 {
+            r.push(ev(i));
+        }
+        let ts: Vec<u64> = r.snapshot().iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![0, 1, 2]);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn exact_boundary_wrap() {
+        let mut r = Ring::new(3);
+        for i in 0..3 {
+            r.push(ev(i));
+        }
+        assert_eq!(
+            r.snapshot().iter().map(|e| e.ts_ns).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        r.push(ev(3));
+        assert_eq!(
+            r.snapshot().iter().map(|e| e.ts_ns).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn capacity_one_keeps_latest() {
+        let mut r = Ring::new(1);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(
+            r.snapshot().iter().map(|e| e.ts_ns).collect::<Vec<_>>(),
+            vec![4]
+        );
+        assert_eq!(r.dropped(), 4);
+    }
+}

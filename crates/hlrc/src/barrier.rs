@@ -87,7 +87,12 @@ pub enum ArriveOutcome {
 impl BarrierManager {
     /// Manager for an `n`-node cluster.
     pub fn new(n: usize) -> Self {
-        BarrierManager { n, episode: 0, arrivals: HashMap::new(), last: None }
+        BarrierManager {
+            n,
+            episode: 0,
+            arrivals: HashMap::new(),
+            last: None,
+        }
     }
 
     /// The episode currently being collected.
@@ -106,7 +111,10 @@ impl BarrierManager {
             // Only the immediately previous episode can be re-requested: a
             // node blocked at episode e cannot have passed e, and e-1 is the
             // newest barrier anyone can have crossed.
-            let last = self.last.as_ref().expect("re-arrival with no completed episode");
+            let last = self
+                .last
+                .as_ref()
+                .expect("re-arrival with no completed episode");
             assert_eq!(a.episode, last.episode, "re-arrival for ancient episode");
             let wns = missing_wns(&last.all_wns, &last.arrival_vts[a.proc]);
             let mut per_proc_wns = vec![Vec::new(); self.n];
@@ -136,8 +144,9 @@ impl BarrierManager {
             all_wns.extend(a.own_wns.iter().cloned());
             *slot = a.vt.clone();
         }
-        let per_proc_wns =
-            (0..self.n).map(|p| missing_wns(&all_wns, &arrival_vts[p])).collect::<Vec<_>>();
+        let per_proc_wns = (0..self.n)
+            .map(|p| missing_wns(&all_wns, &arrival_vts[p]))
+            .collect::<Vec<_>>();
         let release = ReleaseSet {
             episode: self.episode,
             vt: vt.clone(),
@@ -178,7 +187,10 @@ impl BarrierManager {
 }
 
 fn missing_wns(all: &[WriteNotice], have: &VectorClock) -> Vec<WriteNotice> {
-    all.iter().filter(|wn| !have.covers_interval(wn.interval)).cloned().collect()
+    all.iter()
+        .filter(|wn| !have.covers_interval(wn.interval))
+        .cloned()
+        .collect()
 }
 
 #[cfg(test)]
@@ -194,20 +206,36 @@ mod tests {
     }
 
     fn arrival(p: ProcId, ep: u64, vt: Vec<u32>, wns: Vec<WriteNotice>) -> Arrival {
-        Arrival { proc: p, episode: ep, vt: VectorClock::from_vec(vt), own_wns: wns }
+        Arrival {
+            proc: p,
+            episode: ep,
+            vt: VectorClock::from_vec(vt),
+            own_wns: wns,
+        }
     }
 
     #[test]
     fn completes_when_all_arrive_and_joins_vts() {
         let mut b = BarrierManager::new(3);
-        assert_eq!(b.arrive(arrival(0, 0, vec![1, 0, 0], vec![wn(0, 1, &[1])])), ArriveOutcome::Pending);
-        assert_eq!(b.arrive(arrival(1, 0, vec![0, 2, 0], vec![wn(1, 2, &[2])])), ArriveOutcome::Pending);
+        assert_eq!(
+            b.arrive(arrival(0, 0, vec![1, 0, 0], vec![wn(0, 1, &[1])])),
+            ArriveOutcome::Pending
+        );
+        assert_eq!(
+            b.arrive(arrival(1, 0, vec![0, 2, 0], vec![wn(1, 2, &[2])])),
+            ArriveOutcome::Pending
+        );
         let out = b.arrive(arrival(2, 0, vec![0, 0, 3], vec![wn(2, 3, &[3])]));
-        let ArriveOutcome::Complete(rel) = out else { panic!("expected completion") };
+        let ArriveOutcome::Complete(rel) = out else {
+            panic!("expected completion")
+        };
         assert_eq!(rel.episode, 0);
         assert_eq!(rel.vt.as_slice(), &[1, 2, 3]);
         // Node 0 is missing notices from 1 and 2 but not its own.
-        let wns0: Vec<_> = rel.per_proc_wns[0].iter().map(|w| w.interval.proc).collect();
+        let wns0: Vec<_> = rel.per_proc_wns[0]
+            .iter()
+            .map(|w| w.interval.proc)
+            .collect();
         assert_eq!(wns0, vec![1, 2]);
         assert_eq!(b.current_episode(), 1);
     }
@@ -215,10 +243,18 @@ mod tests {
     #[test]
     fn duplicate_arrival_is_idempotent() {
         let mut b = BarrierManager::new(2);
-        assert_eq!(b.arrive(arrival(0, 0, vec![1, 0], vec![])), ArriveOutcome::Pending);
-        assert_eq!(b.arrive(arrival(0, 0, vec![9, 9], vec![])), ArriveOutcome::Pending);
+        assert_eq!(
+            b.arrive(arrival(0, 0, vec![1, 0], vec![])),
+            ArriveOutcome::Pending
+        );
+        assert_eq!(
+            b.arrive(arrival(0, 0, vec![9, 9], vec![])),
+            ArriveOutcome::Pending
+        );
         let out = b.arrive(arrival(1, 0, vec![0, 1], vec![]));
-        let ArriveOutcome::Complete(rel) = out else { panic!() };
+        let ArriveOutcome::Complete(rel) = out else {
+            panic!()
+        };
         // First arrival wins: vt from the duplicate was ignored.
         assert_eq!(rel.vt.as_slice(), &[1, 1]);
     }
@@ -232,13 +268,18 @@ mod tests {
         };
         // Node 1 crashed before receiving the release and re-arrives.
         let out = b.arrive(arrival(1, 0, vec![0, 1], vec![]));
-        let ArriveOutcome::Resend { proc, release } = out else { panic!("expected resend") };
+        let ArriveOutcome::Resend { proc, release } = out else {
+            panic!("expected resend")
+        };
         assert_eq!(proc, 1);
         assert_eq!(release.episode, 0);
         assert_eq!(release.vt.as_slice(), &[1, 1]);
         assert_eq!(release.per_proc_wns[1].len(), 1);
         // The current episode is still open for new arrivals.
-        assert_eq!(b.arrive(arrival(0, 1, vec![2, 1], vec![])), ArriveOutcome::Pending);
+        assert_eq!(
+            b.arrive(arrival(0, 1, vec![2, 1], vec![])),
+            ArriveOutcome::Pending
+        );
     }
 
     #[test]

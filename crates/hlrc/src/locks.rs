@@ -92,7 +92,10 @@ pub struct LockManagerTable {
 impl LockManagerTable {
     /// The manager table for node `me`.
     pub fn new(me: ProcId) -> Self {
-        LockManagerTable { me, locks: HashMap::new() }
+        LockManagerTable {
+            me,
+            locks: HashMap::new(),
+        }
     }
 
     /// Handle an acquire request (possibly a retransmission) for a lock
@@ -130,9 +133,20 @@ impl LockManagerTable {
                 ml.tail_acq = req.acq_seq;
                 ml.pending.insert(
                     req.requester,
-                    PendingFwd { acq_seq: req.acq_seq, forwarded_to: grant_from, gen, pred_acq },
+                    PendingFwd {
+                        acq_seq: req.acq_seq,
+                        forwarded_to: grant_from,
+                        gen,
+                        pred_acq,
+                    },
                 );
-                Some(LockAction { lock, grant_from, gen, pred_acq, req })
+                Some(LockAction {
+                    lock,
+                    grant_from,
+                    gen,
+                    pred_acq,
+                    req,
+                })
             }
         }
     }
@@ -185,9 +199,17 @@ impl LockManagerTable {
         }
     }
 
+    /// Current chain tail of a managed lock, if any request has been seen.
+    pub fn tail_of(&self, lock: LockId) -> Option<ProcId> {
+        self.locks.get(&lock).map(|ml| ml.tail)
+    }
+
     /// Recovery: the recovering manager replayed a self-granted tenure of a
-    /// lock it manages; it is therefore the chain tail regardless of what
-    /// (older) generations peers reported.
+    /// lock it manages and no newer grant is known, so it is the chain
+    /// tail. Callers must check `tail_of` first: a peer tail restored from
+    /// the handshake means the chain moved past the self-granted tenure
+    /// before the crash (the grant that made us tail is always reported by
+    /// its granter, so a peer tail implies a newer generation).
     pub fn force_tail(&mut self, lock: LockId, tail: ProcId, tail_acq: u64) {
         let ml = self.locks.entry(lock).or_insert_with(|| ManagedLock {
             tail,
@@ -218,7 +240,11 @@ mod tests {
     use super::*;
 
     fn req(r: ProcId, seq: u64) -> AcqReq {
-        AcqReq { requester: r, acq_seq: seq, vt: VectorClock::zero(4) }
+        AcqReq {
+            requester: r,
+            acq_seq: seq,
+            vt: VectorClock::zero(4),
+        }
     }
 
     #[test]

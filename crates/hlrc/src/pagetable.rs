@@ -90,7 +90,12 @@ pub struct PageTable {
 impl PageTable {
     /// An empty table for node `me` of an `n`-node cluster.
     pub fn new(me: ProcId, n: usize, page_size: usize) -> Self {
-        PageTable { me, n, page_size, slots: Vec::new() }
+        PageTable {
+            me,
+            n,
+            page_size,
+            slots: Vec::new(),
+        }
     }
 
     /// This node's id.
@@ -157,14 +162,20 @@ impl PageTable {
                 if h.version.covers(&h.needed) {
                     AccessOutcome::Ready
                 } else {
-                    AccessOutcome::NeedFetch { home: self.me, needed: h.needed.clone() }
+                    AccessOutcome::NeedFetch {
+                        home: self.me,
+                        needed: h.needed.clone(),
+                    }
                 }
             }
             Entry::Remote(m) => {
                 if m.state == PageState::Valid {
                     AccessOutcome::Ready
                 } else {
-                    AccessOutcome::NeedFetch { home: m.home, needed: m.needed.clone() }
+                    AccessOutcome::NeedFetch {
+                        home: m.home,
+                        needed: m.needed.clone(),
+                    }
                 }
             }
         }
@@ -234,7 +245,10 @@ impl PageTable {
     /// unflushed twin for the page (sync ops end the interval first).
     pub fn invalidate(&mut self, page: PageId, writer: ProcId, seq: u32) {
         let slot = &mut self.slots[page.index()];
-        assert!(slot.twin.is_none(), "invalidation with unflushed twin for {page}");
+        assert!(
+            slot.twin.is_none(),
+            "invalidation with unflushed twin for {page}"
+        );
         match &mut slot.entry {
             Entry::Home(h) => {
                 if h.needed.get(writer) < seq {
@@ -273,7 +287,9 @@ impl PageTable {
         debug_assert_eq!(interval.proc, self.me);
         let mut diffs = Vec::new();
         for (i, slot) in self.slots.iter_mut().enumerate() {
-            let Some(twin) = slot.twin.take() else { continue };
+            let Some(twin) = slot.twin.take() else {
+                continue;
+            };
             let page = PageId(i as u32);
             let current = match &slot.entry {
                 Entry::Home(h) => &h.copy,

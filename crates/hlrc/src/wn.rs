@@ -43,7 +43,9 @@ impl WnTable {
     /// Record a notice. Re-insertions (retransmissions during recovery) are
     /// idempotent.
     pub fn insert(&mut self, wn: WriteNotice) {
-        self.map.entry((wn.interval.proc, wn.interval.seq)).or_insert(wn.pages);
+        self.map
+            .entry((wn.interval.proc, wn.interval.seq))
+            .or_insert(wn.pages);
     }
 
     /// Record a notice from parts.
@@ -56,7 +58,9 @@ impl WnTable {
     /// respectively only if inserted that way — the protocol never inserts
     /// empty notices.
     pub fn get(&self, interval: Interval) -> Option<&[PageId]> {
-        self.map.get(&(interval.proc, interval.seq)).map(|v| v.as_slice())
+        self.map
+            .get(&(interval.proc, interval.seq))
+            .map(|v| v.as_slice())
     }
 
     /// Number of stored notices.
@@ -77,7 +81,10 @@ impl WnTable {
         from.missing_from(to)
             .into_iter()
             .filter_map(|iv| {
-                self.get(iv).map(|pages| WriteNotice { interval: iv, pages: pages.to_vec() })
+                self.get(iv).map(|pages| WriteNotice {
+                    interval: iv,
+                    pages: pages.to_vec(),
+                })
             })
             .collect()
     }
@@ -153,7 +160,10 @@ mod tests {
 
     #[test]
     fn wire_size_matches_layout() {
-        let wn = WriteNotice { interval: iv(0, 1), pages: vec![PageId(1), PageId(2)] };
+        let wn = WriteNotice {
+            interval: iv(0, 1),
+            pages: vec![PageId(1), PageId(2)],
+        };
         assert_eq!(wn.wire_size(), 12 + 8);
     }
 }

@@ -36,18 +36,36 @@ pub struct BarnesParams {
 impl BarnesParams {
     /// A few dozen bodies — unit tests.
     pub fn tiny() -> Self {
-        BarnesParams { bodies: 48, steps: 4, theta: 0.6, dt: 0.01, seed: 7 }
+        BarnesParams {
+            bodies: 48,
+            steps: 4,
+            theta: 0.6,
+            dt: 0.01,
+            seed: 7,
+        }
     }
 
     /// A few hundred bodies — integration tests.
     pub fn small() -> Self {
-        BarnesParams { bodies: 192, steps: 6, theta: 0.6, dt: 0.01, seed: 7 }
+        BarnesParams {
+            bodies: 192,
+            steps: 6,
+            theta: 0.6,
+            dt: 0.01,
+            seed: 7,
+        }
     }
 
     /// The benchmark configuration (scaled from the paper's 256 k bodies /
     /// 60 steps so a run takes seconds on a laptop).
     pub fn paper_scaled() -> Self {
-        BarnesParams { bodies: 1536, steps: 40, theta: 0.7, dt: 0.05, seed: 7 }
+        BarnesParams {
+            bodies: 1536,
+            steps: 40,
+            theta: 0.7,
+            dt: 0.05,
+            seed: 7,
+        }
     }
 }
 
@@ -79,7 +97,13 @@ fn octant(center: &[f64; 3], p: &[f64; 3]) -> usize {
 
 #[cfg(test)]
 fn build_tree(pos: &[[f64; 3]], mass: &[f64], half: f64) -> Vec<Cell> {
-    build_subtree(pos, mass, [0.0; 3], half, &(0..pos.len()).collect::<Vec<_>>())
+    build_subtree(
+        pos,
+        mass,
+        [0.0; 3],
+        half,
+        &(0..pos.len()).collect::<Vec<_>>(),
+    )
 }
 
 /// Build the subtree rooted at (`center`, `half`) containing `bodies`
@@ -91,7 +115,12 @@ fn build_subtree(
     half: f64,
     bodies: &[usize],
 ) -> Vec<Cell> {
-    let root = Cell { center, half, com: [0.0; 4], child: [EMPTY; 8] };
+    let root = Cell {
+        center,
+        half,
+        com: [0.0; 4],
+        child: [EMPTY; 8],
+    };
     let mut cells = vec![root];
     for &i in bodies {
         let p = pos[i];
@@ -129,7 +158,12 @@ fn insert(cells: &mut Vec<Cell>, cell: usize, body: usize, p: &[f64; 3], pos: &[
                 return;
             }
             let new_idx = cells.len();
-            cells.push(Cell { center, half, com: [0.0; 4], child: [EMPTY; 8] });
+            cells.push(Cell {
+                center,
+                half,
+                com: [0.0; 4],
+                child: [EMPTY; 8],
+            });
             cells[cell].child[oct] = new_idx as i64;
             let other_p = pos[other];
             insert(cells, new_idx, other, &other_p, pos);
@@ -183,8 +217,8 @@ fn pair_accel(from: &[f64; 3], to: &[f64; 3], m: f64, acc: &mut [f64; 3]) -> f64
 
 /// Shared-memory handles for the tree (homed on node 0).
 struct TreeArrays {
-    geom: SharedVec<[f64; 4]>,  // center xyz + half
-    com: SharedVec<[f64; 4]>,   // com xyz + mass
+    geom: SharedVec<[f64; 4]>, // center xyz + half
+    com: SharedVec<[f64; 4]>,  // com xyz + mass
     child: SharedVec<[i64; 8]>,
     meta: SharedVec<u64>, // [0] = cell count
 }
@@ -267,7 +301,11 @@ pub fn barnes(p: &mut Process, params: &BarnesParams) -> u64 {
                 .filter(|&i| octant(&root_center, &all_pos[i]) == oct)
                 .collect();
             let cells = build_subtree(&all_pos, &all_mass, center, h, &bodies);
-            assert!(cells.len() <= per_oct, "octant subtree overflow: {}", cells.len());
+            assert!(
+                cells.len() <= per_oct,
+                "octant subtree overflow: {}",
+                cells.len()
+            );
             let base = 1 + oct * per_oct;
             for (ci, c) in cells.iter().enumerate() {
                 // Child cell indices are local to the subtree: offset them.
@@ -278,7 +316,8 @@ pub fn barnes(p: &mut Process, params: &BarnesParams) -> u64 {
                     }
                 }
                 let gi = base + ci;
-                tree.geom.set(p, gi, [c.center[0], c.center[1], c.center[2], c.half]);
+                tree.geom
+                    .set(p, gi, [c.center[0], c.center[1], c.center[2], c.half]);
                 tree.com.set(p, gi, c.com);
                 tree.child.set(p, gi, child);
             }

@@ -16,7 +16,10 @@ pub struct JacobiParams {
 
 impl Default for JacobiParams {
     fn default() -> Self {
-        JacobiParams { side: 64, steps: 10 }
+        JacobiParams {
+            side: 64,
+            steps: 10,
+        }
     }
 }
 
@@ -59,7 +62,11 @@ pub fn jacobi(p: &mut Process, params: &JacobiParams) -> u64 {
     });
 
     p.barrier();
-    let fin = if params.steps.is_multiple_of(2) { &a } else { &b };
+    let fin = if params.steps.is_multiple_of(2) {
+        &a
+    } else {
+        &b
+    };
     let mut sum = 0u64;
     for i in 0..side * side {
         sum = fold_f64(sum, fin.get(p, i));

@@ -25,12 +25,20 @@ pub struct LuParams {
 impl LuParams {
     /// Unit-test scale.
     pub fn tiny() -> Self {
-        LuParams { n: 24, block: 4, seed: 31 }
+        LuParams {
+            n: 24,
+            block: 4,
+            seed: 31,
+        }
     }
 
     /// Benchmark scale.
     pub fn paper_scaled() -> Self {
-        LuParams { n: 192, block: 16, seed: 31 }
+        LuParams {
+            n: 192,
+            block: 16,
+            seed: 31,
+        }
     }
 }
 
@@ -61,7 +69,8 @@ impl Ctx {
         let b = self.block;
         for r in 0..b {
             for c in 0..b {
-                self.a.set(p, (bi * b + r) * self.n + bj * b + c, data[r * b + c]);
+                self.a
+                    .set(p, (bi * b + r) * self.n + bj * b + c, data[r * b + c]);
             }
         }
     }
@@ -128,7 +137,10 @@ pub fn lu(p: &mut Process, params: &LuParams) -> u64 {
     let me = p.me();
     let n = params.n;
     let b = params.block;
-    assert!(n % b == 0, "matrix dimension must be a multiple of the block size");
+    assert!(
+        n % b == 0,
+        "matrix dimension must be a multiple of the block size"
+    );
     let nb = n / b;
 
     let a = p.alloc_vec::<f64>(n * n, HomeAlloc::Blocked);

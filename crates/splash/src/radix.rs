@@ -27,12 +27,22 @@ pub struct RadixParams {
 impl RadixParams {
     /// Unit-test scale.
     pub fn tiny() -> Self {
-        RadixParams { keys: 256, bits: 4, key_bits: 16, seed: 77 }
+        RadixParams {
+            keys: 256,
+            bits: 4,
+            key_bits: 16,
+            seed: 77,
+        }
     }
 
     /// Benchmark scale.
     pub fn paper_scaled() -> Self {
-        RadixParams { keys: 8192, bits: 8, key_bits: 24, seed: 77 }
+        RadixParams {
+            keys: 8192,
+            bits: 8,
+            key_bits: 24,
+            seed: 77,
+        }
     }
 }
 
@@ -56,8 +66,7 @@ pub fn radix(p: &mut Process, params: &RadixParams) -> u64 {
 
     p.init_phase(|p| {
         for i in k0..k1 {
-            let key =
-                (hash_unit(params.seed, i as u64) * (1u64 << params.key_bits) as f64) as u64;
+            let key = (hash_unit(params.seed, i as u64) * (1u64 << params.key_bits) as f64) as u64;
             a.set(p, i, key);
         }
     });

@@ -30,17 +30,35 @@ pub struct WaterNsqParams {
 impl WaterNsqParams {
     /// Unit-test scale.
     pub fn tiny() -> Self {
-        WaterNsqParams { molecules: 32, steps: 4, cutoff: 0.45, dt: 1e-4, seed: 11 }
+        WaterNsqParams {
+            molecules: 32,
+            steps: 4,
+            cutoff: 0.45,
+            dt: 1e-4,
+            seed: 11,
+        }
     }
 
     /// Integration-test scale.
     pub fn small() -> Self {
-        WaterNsqParams { molecules: 96, steps: 6, cutoff: 0.4, dt: 1e-4, seed: 11 }
+        WaterNsqParams {
+            molecules: 96,
+            steps: 6,
+            cutoff: 0.4,
+            dt: 1e-4,
+            seed: 11,
+        }
     }
 
     /// Benchmark scale (the paper ran 19 683 molecules).
     pub fn paper_scaled() -> Self {
-        WaterNsqParams { molecules: 1024, steps: 20, cutoff: 0.3, dt: 1e-4, seed: 11 }
+        WaterNsqParams {
+            molecules: 1024,
+            steps: 20,
+            cutoff: 0.3,
+            dt: 1e-4,
+            seed: 11,
+        }
     }
 }
 
@@ -104,7 +122,11 @@ pub fn water_nsq(p: &mut Process, params: &WaterNsqParams) -> u64 {
         }
         for i in m0..m1 {
             for k in 0..DESC {
-                desc.set(p, i * DESC + k, hash_unit(params.seed ^ 0xD5, (i * DESC + k) as u64));
+                desc.set(
+                    p,
+                    i * DESC + k,
+                    hash_unit(params.seed ^ 0xD5, (i * DESC + k) as u64),
+                );
             }
         }
         reductions.set(p, 2 * me, 0.0);

@@ -31,18 +31,36 @@ pub struct WaterSpParams {
 impl WaterSpParams {
     /// Unit-test scale.
     pub fn tiny() -> Self {
-        WaterSpParams { side: 4, per_cell: 2, steps: 3, dt: 1e-4, seed: 23 }
+        WaterSpParams {
+            side: 4,
+            per_cell: 2,
+            steps: 3,
+            dt: 1e-4,
+            seed: 23,
+        }
     }
 
     /// Integration-test scale.
     pub fn small() -> Self {
-        WaterSpParams { side: 6, per_cell: 2, steps: 4, dt: 1e-4, seed: 23 }
+        WaterSpParams {
+            side: 6,
+            per_cell: 2,
+            steps: 4,
+            dt: 1e-4,
+            seed: 23,
+        }
     }
 
     /// Benchmark scale (the paper ran 256 k molecules; the footprint here
     /// is deliberately the largest of the three applications, as there).
     pub fn paper_scaled() -> Self {
-        WaterSpParams { side: 10, per_cell: 4, steps: 8, dt: 1e-4, seed: 23 }
+        WaterSpParams {
+            side: 10,
+            per_cell: 4,
+            steps: 8,
+            dt: 1e-4,
+            seed: 23,
+        }
     }
 }
 
@@ -132,8 +150,7 @@ pub fn water_sp(p: &mut Process, params: &WaterSpParams) -> u64 {
                     for k in 0..pc {
                         let i = c * pc + k;
                         let pi = pos.get(p, i);
-                        let dscale =
-                            1.0 + 1e-6 * desc.get(p, i * DESC + (_step as usize % DESC));
+                        let dscale = 1.0 + 1e-6 * desc.get(p, i * DESC + (_step as usize % DESC));
                         let f = &mut forces[i - base];
                         // 27-cell neighborhood, periodic.
                         for dz in -1i64..=1 {

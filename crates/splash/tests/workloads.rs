@@ -3,8 +3,8 @@
 
 use ftdsm::{run, CkptPolicy, ClusterConfig, FailureSpec, Process};
 use splash::{
-    barnes, jacobi, migratory, producer_consumer, water_nsq, water_sp, BarnesParams,
-    JacobiParams, WaterNsqParams, WaterSpParams,
+    barnes, jacobi, migratory, producer_consumer, water_nsq, water_sp, BarnesParams, JacobiParams,
+    WaterNsqParams, WaterSpParams,
 };
 
 fn base(n: usize) -> ClusterConfig {
@@ -22,7 +22,11 @@ fn ft(n: usize) -> ClusterConfig {
 fn assert_deterministic(app: impl Fn(&mut Process) -> u64 + Send + Sync + Clone + 'static) {
     let r1 = run(base(4), &[], app.clone());
     let first = r1.results[0];
-    assert!(r1.results.iter().all(|&c| c == first), "nodes disagree: {:?}", r1.results);
+    assert!(
+        r1.results.iter().all(|&c| c == first),
+        "nodes disagree: {:?}",
+        r1.results
+    );
     let r2 = run(base(4), &[], app);
     assert_eq!(r1.results, r2.results, "runs disagree");
     assert_eq!(r1.shared_hash, r2.shared_hash);
@@ -63,9 +67,22 @@ fn assert_recovers(
     app: impl Fn(&mut Process) -> u64 + Send + Sync + Clone + 'static,
 ) {
     let clean = run(ft(4), &[], app.clone());
-    let crashed = run(ft(4), &[FailureSpec { node: victim, at_op }], app);
-    assert_eq!(clean.results, crashed.results, "results diverge after recovery");
-    assert_eq!(clean.shared_hash, crashed.shared_hash, "memory diverges after recovery");
+    let crashed = run(
+        ft(4),
+        &[FailureSpec {
+            node: victim,
+            at_op,
+        }],
+        app,
+    );
+    assert_eq!(
+        clean.results, crashed.results,
+        "results diverge after recovery"
+    );
+    assert_eq!(
+        clean.shared_hash, crashed.shared_hash,
+        "memory diverges after recovery"
+    );
     assert_eq!(crashed.nodes[victim].ft.recoveries, 1, "crash did not fire");
 }
 
@@ -104,7 +121,11 @@ fn producer_consumer_kernel_is_exact() {
     let items = 32usize;
     let r = run(base(3), &[], move |p| producer_consumer(p, rounds, items));
     let expected: u64 = (0..rounds)
-        .map(|round| (0..items as u64).map(|i| round * items as u64 + i).sum::<u64>())
+        .map(|round| {
+            (0..items as u64)
+                .map(|i| round * items as u64 + i)
+                .sum::<u64>()
+        })
         .sum();
     assert_eq!(r.results, vec![expected; 3]);
 }
@@ -126,14 +147,23 @@ fn recovery_time_is_recorded_and_bounded() {
     use splash::{water_nsq, WaterNsqParams};
     let crashed = run(
         ft(4),
-        &[ftdsm::FailureSpec { node: 1, at_op: 300 }],
+        &[ftdsm::FailureSpec {
+            node: 1,
+            at_op: 300,
+        }],
         |p| water_nsq(p, &WaterNsqParams::tiny()),
     );
     let rec = crashed.nodes[1].ft.recovery_time;
-    assert!(rec > std::time::Duration::ZERO, "recovery time not recorded");
+    assert!(
+        rec > std::time::Duration::ZERO,
+        "recovery time not recorded"
+    );
     // §4.3: local replay is expected to be faster than the original
     // execution of the lost segment, and certainly than the whole run.
-    assert!(rec < crashed.wall, "recovery took longer than the entire run");
+    assert!(
+        rec < crashed.wall,
+        "recovery took longer than the entire run"
+    );
 }
 
 #[test]

@@ -30,11 +30,21 @@ fn main() {
             .with_policy(policy)
             .with_disk(DiskModel::scsi_1999(0.1, DiskMode::Stall));
         let report = run(cfg, &[], |p| {
-            jacobi(p, &JacobiParams { side: 48, steps: 16 })
+            jacobi(
+                p,
+                &JacobiParams {
+                    side: 48,
+                    steps: 16,
+                },
+            )
         });
         let disk: u64 = report.nodes.iter().map(|n| n.ft.store.bytes_written).sum();
-        let max_log: u64 =
-            report.nodes.iter().map(|n| n.ft.max_stable_log_bytes).max().unwrap_or(0);
+        let max_log: u64 = report
+            .nodes
+            .iter()
+            .map(|n| n.ft.max_stable_log_bytes)
+            .max()
+            .unwrap_or(0);
         println!(
             "{:<16} {:>6} {:>14.1} {:>16.1} {:>6}",
             name,

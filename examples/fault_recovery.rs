@@ -33,7 +33,10 @@ fn main() {
     let p2 = params.clone();
     let crashed = run(
         config(),
-        &[FailureSpec { node: 2, at_op: 500 }],
+        &[FailureSpec {
+            node: 2,
+            at_op: 500,
+        }],
         move |p| water_nsq(p, &p2),
     );
     println!(

@@ -11,7 +11,11 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let bodies: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(512);
     let steps: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
-    let params = BarnesParams { bodies, steps, ..BarnesParams::small() };
+    let params = BarnesParams {
+        bodies,
+        steps,
+        ..BarnesParams::small()
+    };
 
     println!("Barnes-Hut: {bodies} bodies, {steps} steps, 4 nodes");
     let report = run(ClusterConfig::base(4), &[], move |p| barnes(p, &params));
@@ -23,7 +27,10 @@ fn main() {
     );
     println!("final-state checksum: {first:#018x} (identical on every node)");
     println!("wall time: {:?}", report.wall);
-    println!("shared space: {:.2} MB", report.shared_bytes as f64 / 1048576.0);
+    println!(
+        "shared space: {:.2} MB",
+        report.shared_bytes as f64 / 1048576.0
+    );
 
     let t = report.total_traffic();
     println!(

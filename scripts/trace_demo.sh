@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Capture a Perfetto-loadable protocol trace of a crash+recovery run.
+#
+# Usage: scripts/trace_demo.sh [OUT.json]
+#
+# Writes OUT.json (Chrome trace-event format, default trace.json) and
+# OUT.jsonl next to it. Open the .json in https://ui.perfetto.dev or
+# chrome://tracing to see one timeline lane per node.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-trace.json}"
+cargo run --release --example trace_demo -- "$OUT"

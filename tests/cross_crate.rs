@@ -2,8 +2,7 @@
 //! protocol + FT + workloads) exercised through the umbrella crate.
 
 use ftdsm_suite::apps::{
-    barnes, jacobi, water_nsq, water_sp, BarnesParams, JacobiParams, WaterNsqParams,
-    WaterSpParams,
+    barnes, jacobi, water_nsq, water_sp, BarnesParams, JacobiParams, WaterNsqParams, WaterSpParams,
 };
 use ftdsm_suite::{run, CkptPolicy, ClusterConfig, FailureSpec, HomeAlloc};
 
@@ -52,9 +51,14 @@ fn ft_with_small_pages_recovers_barnes() {
             .with_policy(CkptPolicy::EverySteps(2))
     };
     let clean = run(cfg(), &[], |p| barnes(p, &BarnesParams::tiny()));
-    let crashed = run(cfg(), &[FailureSpec { node: 1, at_op: 600 }], |p| {
-        barnes(p, &BarnesParams::tiny())
-    });
+    let crashed = run(
+        cfg(),
+        &[FailureSpec {
+            node: 1,
+            at_op: 600,
+        }],
+        |p| barnes(p, &BarnesParams::tiny()),
+    );
     assert_eq!(clean.results, crashed.results);
     assert_eq!(clean.shared_hash, crashed.shared_hash);
     assert_eq!(crashed.nodes[1].ft.recoveries, 1);
@@ -89,7 +93,14 @@ fn mixed_kernel_with_many_locks_and_crash() {
     };
     let clean = run(cfg(), &[], app);
     for victim in 0..4 {
-        let crashed = run(cfg(), &[FailureSpec { node: victim, at_op: 150 }], app);
+        let crashed = run(
+            cfg(),
+            &[FailureSpec {
+                node: victim,
+                at_op: 150,
+            }],
+            app,
+        );
         assert_eq!(clean.results, crashed.results, "victim {victim}");
         assert_eq!(clean.shared_hash, crashed.shared_hash, "victim {victim}");
         assert_eq!(crashed.nodes[victim].ft.recoveries, 1, "victim {victim}");

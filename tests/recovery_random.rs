@@ -65,7 +65,14 @@ fn any_single_failure_point_recovers_exactly() {
     for case in 0..10 {
         let victim = (splitmix(&mut seed) % NODES as u64) as usize;
         let at_op = 20 + splitmix(&mut seed) % 420;
-        let crashed = run(cfg(0.1), &[FailureSpec { node: victim, at_op }], app);
+        let crashed = run(
+            cfg(0.1),
+            &[FailureSpec {
+                node: victim,
+                at_op,
+            }],
+            app,
+        );
         assert_eq!(
             clean.results, crashed.results,
             "case {case}: results diverge (victim {victim}, op {at_op})"
@@ -93,7 +100,10 @@ fn recovery_holds_under_a_real_workload_sweep() {
         let pc = params.clone();
         let crashed = run(
             cfg(0.2),
-            &[FailureSpec { node: victim, at_op }],
+            &[FailureSpec {
+                node: victim,
+                at_op,
+            }],
             move |p| water_nsq(p, &pc),
         );
         assert_eq!(

@@ -1,0 +1,157 @@
+//! Acceptance test for the tracing tentpole: a fault-tolerant cluster run
+//! with tracing enabled (including a crash + recovery) must export Chrome
+//! trace-event JSON that parses, has one event lane per node, and contains
+//! the recovery-phase spans.
+
+use dsm_trace::export::{to_chrome_trace, to_jsonl};
+use dsm_trace::json::{self, Json};
+use ftdsm_suite::{run, CkptPolicy, ClusterConfig, FailureSpec, HomeAlloc, Process, TraceConfig};
+
+const NODES: usize = 3;
+
+fn traced_cfg() -> ClusterConfig {
+    ClusterConfig::fault_tolerant(NODES)
+        .with_page_size(256)
+        .with_policy(CkptPolicy::EverySteps(2))
+        .with_trace(TraceConfig::enabled())
+}
+
+fn app(p: &mut Process) -> u64 {
+    let cells = p.alloc_vec::<u64>(8, HomeAlloc::Interleaved);
+    let mut state = 0u64;
+    p.run_steps(&mut state, 6, |p, state, step| {
+        for lock in 0..2usize {
+            p.acquire(lock);
+            let idx = lock * 4 + (step as usize % 4);
+            let v = cells.get(p, idx);
+            cells.set(p, idx, v + p.me() as u64 + 1);
+            p.release(lock);
+        }
+        *state += step;
+        p.barrier();
+    });
+    p.barrier();
+    (0..8).map(|i| cells.get(p, i)).sum()
+}
+
+#[test]
+fn crash_run_exports_valid_chrome_trace_with_recovery_lanes() {
+    let report = run(traced_cfg(), &[FailureSpec { node: 1, at_op: 60 }], app);
+    assert_eq!(report.nodes[1].ft.recoveries, 1);
+
+    let text = to_chrome_trace(&report.trace);
+    let doc = json::parse(&text).expect("chrome trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+
+    // One lane (tid) per node, both named and populated.
+    let mut lanes_named = vec![false; NODES];
+    let mut lanes_used = vec![false; NODES];
+    let mut recovery_phases = Vec::new();
+    let mut complete_events = 0usize;
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph field");
+        let tid = ev.get("tid").and_then(Json::as_num).map(|t| t as usize);
+        match ph {
+            "M" => {
+                if ev.get("name").and_then(Json::as_str) == Some("thread_name") {
+                    lanes_named[tid.expect("thread_name without tid")] = true;
+                }
+            }
+            "X" => {
+                assert!(
+                    ev.get("dur").and_then(Json::as_num).unwrap_or(0.0) > 0.0,
+                    "complete event without duration"
+                );
+                complete_events += 1;
+                let tid = tid.expect("X event without tid");
+                lanes_used[tid] = true;
+                if ev.get("name").and_then(Json::as_str) == Some("recovery_phase") {
+                    let phase = ev
+                        .get("args")
+                        .and_then(|a| a.get("phase"))
+                        .and_then(Json::as_str)
+                        .expect("recovery_phase args.phase")
+                        .to_string();
+                    assert_eq!(tid, 1, "recovery phases must be on the victim's lane");
+                    recovery_phases.push(phase);
+                }
+            }
+            "i" => lanes_used[tid.expect("instant without tid")] = true,
+            other => panic!("unexpected phase type {other:?}"),
+        }
+    }
+    for node in 0..NODES {
+        assert!(lanes_named[node], "node {node} lane is missing its name");
+        assert!(lanes_used[node], "node {node} lane has no events");
+    }
+    assert!(complete_events > 0, "no span events recorded");
+    for phase in ["restore", "log_collect", "replay"] {
+        assert!(
+            recovery_phases.iter().any(|p| p == phase),
+            "missing recovery phase {phase:?} (got {recovery_phases:?})"
+        );
+    }
+
+    // The crash itself and the ensuing diff/lock traffic must be visible.
+    let names: Vec<String> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str).map(str::to_string))
+        .collect();
+    for expected in [
+        "crash_injected",
+        "lock_acquire",
+        "barrier_release",
+        "msg_send",
+        "ckpt_end",
+    ] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "missing event {expected:?} in the trace"
+        );
+    }
+
+    // JSONL export: every line parses and carries node + event fields.
+    let jsonl = to_jsonl(&report.trace);
+    let mut lines = 0usize;
+    for line in jsonl.lines() {
+        let obj = json::parse(line).expect("jsonl line must parse");
+        assert!(obj.get("event").and_then(Json::as_str).is_some());
+        assert!(obj.get("node").and_then(Json::as_num).is_some());
+        lines += 1;
+    }
+    assert!(lines > 0, "jsonl export is empty");
+
+    // Latency histograms reached the report: the victim recovered, so its
+    // recovery-phase histograms have samples; everyone took locks and hit
+    // barriers.
+    let h = report.total_hists();
+    assert!(h.lock_wait.count() > 0);
+    assert!(h.barrier_wait.count() > 0);
+    assert_eq!(report.nodes[1].hists.rec_restore.count(), 1);
+    assert_eq!(report.nodes[1].hists.rec_log_collect.count(), 1);
+    assert_eq!(report.nodes[1].hists.rec_replay.count(), 1);
+}
+
+#[test]
+fn disabled_trace_records_nothing_but_hists_still_fill() {
+    let cfg = ClusterConfig::base(2).with_page_size(256);
+    let report = run(cfg, &[], |p| {
+        let cells = p.alloc_vec::<u64>(4, HomeAlloc::Interleaved);
+        p.acquire(0);
+        let v = cells.get(p, 0);
+        cells.set(p, 0, v + 1);
+        p.release(0);
+        p.barrier();
+        cells.get(p, 0)
+    });
+    assert!(!report.trace.is_enabled());
+    assert!(report.trace.all_events().is_empty());
+    // Histograms are independent of the trace switch.
+    assert!(report.total_hists().lock_wait.count() > 0);
+    // An empty trace still exports valid (if boring) Chrome JSON.
+    let doc = json::parse(&to_chrome_trace(&report.trace)).expect("empty trace JSON");
+    assert!(doc.get("traceEvents").and_then(Json::as_arr).is_some());
+}
