@@ -1,0 +1,120 @@
+//! Diff-pipeline benchmarks: the u64 word-diff fast path against the
+//! retained naive byte-wise reference, pooled diff apply, and the twin
+//! pool's steady-state reuse. `scripts/bench_baseline.sh` parses this
+//! binary's output into `BENCH_diff.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsm_page::{diff::reference, Diff, DiffScratch, Interval, Page, PageId, PagePool};
+
+const PAGE_SIZE: usize = 4096;
+const SPARSITY: [usize; 4] = [1, 32, 256, 512];
+
+fn dirty_page(dirty_words: usize) -> (Page, Page) {
+    let twin = Page::zeroed(PAGE_SIZE);
+    let mut cur = twin.clone();
+    let words = PAGE_SIZE / 8;
+    for k in 0..dirty_words {
+        let w = (k * words / dirty_words) * 8;
+        cur.write(w, &[(k + 1) as u8; 8]);
+    }
+    (twin, cur)
+}
+
+/// Byte-wise reference vs u64 word scan, same page, same dirty pattern.
+fn bench_create(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff_create");
+    for &dirty in &SPARSITY {
+        let (twin, cur) = dirty_page(dirty);
+        g.throughput(Throughput::Bytes(PAGE_SIZE as u64));
+        g.bench_with_input(BenchmarkId::new("naive_4k", dirty), &dirty, |b, _| {
+            b.iter(|| reference::create(&twin, &cur))
+        });
+        let mut scratch = DiffScratch::new();
+        g.bench_with_input(BenchmarkId::new("u64_4k", dirty), &dirty, |b, _| {
+            b.iter(|| {
+                Diff::create_with(
+                    &mut scratch,
+                    PageId(0),
+                    Interval { proc: 0, seq: 1 },
+                    &twin,
+                    &cur,
+                )
+            })
+        });
+    }
+    // The cheapest exit: identical pages short-circuit on the whole-buffer
+    // compare before any word scan.
+    let clean = Page::zeroed(PAGE_SIZE);
+    let clean2 = clean.twin();
+    let mut scratch = DiffScratch::new();
+    g.throughput(Throughput::Bytes(PAGE_SIZE as u64));
+    g.bench_function("u64_4k_identical", |b| {
+        b.iter(|| {
+            Diff::create_with(
+                &mut scratch,
+                PageId(0),
+                Interval { proc: 0, seq: 1 },
+                &clean,
+                &clean2,
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Applying a diff to a home copy, with and without the buffer pool.
+fn bench_apply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff_apply");
+    for &dirty in &SPARSITY {
+        let (twin, cur) = dirty_page(dirty);
+        let diff = Diff::create(PageId(0), Interval { proc: 0, seq: 1 }, &twin, &cur).unwrap();
+        g.throughput(Throughput::Bytes(PAGE_SIZE as u64));
+        let mut target = twin.clone();
+        g.bench_with_input(BenchmarkId::new("plain_4k", dirty), &dirty, |b, _| {
+            b.iter(|| diff.apply(&mut target))
+        });
+        let mut pooled = twin.clone();
+        let mut pool = PagePool::new(PAGE_SIZE);
+        g.bench_with_input(BenchmarkId::new("pooled_4k", dirty), &dirty, |b, _| {
+            b.iter(|| diff.apply_pooled(&mut pooled, &mut pool))
+        });
+    }
+    g.finish();
+}
+
+/// One interval's twin lifecycle: twin (refcount bump), dirty one word
+/// (copy-on-write draws from the pool), diff, recycle. Steady state should
+/// be allocation-free: every COW is a pool hit.
+fn bench_twin_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("twin_cycle");
+    g.throughput(Throughput::Bytes(PAGE_SIZE as u64));
+    let mut page = Page::zeroed(PAGE_SIZE);
+    let mut pool = PagePool::new(PAGE_SIZE);
+    let mut scratch = DiffScratch::new();
+    let mut seq = 0u32;
+    g.bench_function("pooled_4k", |b| {
+        b.iter(|| {
+            let twin = page.twin();
+            seq = seq.wrapping_add(1);
+            page.write_pooled(&mut pool, 0, &seq.to_ne_bytes());
+            let d = Diff::create_with(
+                &mut scratch,
+                PageId(0),
+                Interval { proc: 0, seq },
+                &twin,
+                &page,
+            );
+            pool.recycle(twin);
+            d
+        })
+    });
+    let stats = pool.stats();
+    println!(
+        "# twin_cycle pool: {} hits, {} misses, {} recycled, {} rejected",
+        stats.hits, stats.misses, stats.recycled, stats.rejected
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_create, bench_apply, bench_twin_cycle);
+criterion_main!(benches);

@@ -306,14 +306,20 @@ fn print_hists(title: &str, hists: &dsm_trace::LatencyHists) {
         if h.count() == 0 {
             continue;
         }
+        // `_bytes` histograms are counters, not durations.
+        let fmt = if name.ends_with("_bytes") {
+            |v: u64| v.to_string()
+        } else {
+            fmt_ns
+        };
         println!(
             "  {:<16} {:>8} {:>9} {:>9} {:>9} {:>9}",
             name,
             h.count(),
-            fmt_ns(h.mean()),
-            fmt_ns(h.quantile(0.5)),
-            fmt_ns(h.quantile(0.95)),
-            fmt_ns(h.max()),
+            fmt(h.mean()),
+            fmt(h.quantile(0.5)),
+            fmt(h.quantile(0.95)),
+            fmt(h.max()),
         );
     }
 }
@@ -326,6 +332,11 @@ fn do_hist(scale: &Scale) {
     print_hists(
         "Water-Spatial, FT, clean run (all nodes merged)",
         &clean.total_hists(),
+    );
+    let pool = clean.total_pool();
+    println!(
+        "  page pool: {} hits, {} misses, {} recycled, {} rejected",
+        pool.hits, pool.misses, pool.recycled, pool.rejected
     );
     let victim = 2usize.min(scale.nodes - 1);
     let at_op = (clean.nodes[victim].ops * 2) / 3;

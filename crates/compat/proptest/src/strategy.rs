@@ -17,6 +17,29 @@ pub trait Strategy {
 
     /// Draw one value from `rng`.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f` (real proptest's `prop_map`; no
+    /// shrinking here, so this is a plain post-generation transform).
+    fn prop_map<V: Debug, F: Fn(Self::Value) -> V>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, V: Debug, F: Fn(S::Value) -> V> Strategy for Map<S, F> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.f)(self.inner.generate(rng))
+    }
 }
 
 /// `Strategy` is object-safe; boxed strategies are used by `prop_oneof!`.
@@ -116,7 +139,7 @@ impl Arbitrary for f32 {
 
 impl Arbitrary for char {
     fn arbitrary(rng: &mut TestRng) -> char {
-        char::from_u32((rng.next_u64() % 0xD800 as u64) as u32).unwrap_or('\u{FFFD}')
+        char::from_u32((rng.next_u64() % 0xD800) as u32).unwrap_or('\u{FFFD}')
     }
 }
 

@@ -18,6 +18,7 @@
 //! and append is byte-accounted for Table 4 / Figure 4.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use dsm_page::{PageId, ProcId, VectorClock};
 use dsm_storage::{ByteReader, ByteWriter, CodecError};
@@ -47,8 +48,11 @@ impl WnLogEntry {
 /// One logged diff: the diff plus the creator's full timestamp at creation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DiffLogEntry {
-    /// The diff itself (carries the creating interval).
-    pub diff: dsm_page::Diff,
+    /// The diff itself (carries the creating interval). Shared with the
+    /// `DiffBatch` message that delivered the same interval — logging never
+    /// copies run payloads, exactly as the paper's "reuse what the base
+    /// protocol already produces" argument requires.
+    pub diff: Arc<dsm_page::Diff>,
     /// `diff.T`: the writer's vector timestamp at the end of the creating
     /// interval. Orders diffs by happens-before during recovery replay.
     pub t: VectorClock,
@@ -347,7 +351,7 @@ impl VolatileLogs {
             let len = r.get_u64()? as usize;
             let mut log = Vec::with_capacity(len);
             for _ in 0..len {
-                let diff = wire::get_diff(&mut r)?;
+                let diff = Arc::new(wire::get_diff(&mut r)?);
                 let t = wire::get_vt(&mut r)?;
                 log.push(DiffLogEntry {
                     diff,
@@ -377,7 +381,9 @@ mod tests {
         let mut cur = twin.clone();
         cur.write(0, &[seq as u8; 8]);
         DiffLogEntry {
-            diff: Diff::create(PageId(page), Interval { proc: me, seq }, &twin, &cur).unwrap(),
+            diff: Arc::new(
+                Diff::create(PageId(page), Interval { proc: me, seq }, &twin, &cur).unwrap(),
+            ),
             t: vt(t),
             saved: false,
         }

@@ -138,7 +138,7 @@ impl FtState {
     /// Evaluate the checkpoint policy after crossing barrier `episode`.
     pub(crate) fn policy_check_barrier(&mut self, episode: u64) {
         if let CkptPolicy::AtBarrier(k) = self.cfg.policy {
-            if k > 0 && (episode + 1) % k == 0 {
+            if k > 0 && (episode + 1).is_multiple_of(k) {
                 self.ckpt_due = true;
             }
         }

@@ -4,6 +4,8 @@
 //! LLT/CGC control data, and the recovery protocol. Base and piggyback byte
 //! counts are reported separately (Table 2 measures their ratio).
 
+use std::sync::Arc;
+
 use dsm_page::{Diff, PageId, ProcId, VectorClock};
 use hlrc::{LockId, WriteNotice};
 
@@ -92,8 +94,9 @@ pub enum Payload {
     /// A writer's end-of-interval diffs for pages homed at the receiver.
     DiffBatch {
         /// The diffs (each carries its creating interval for idempotent,
-        /// ordered application).
-        diffs: Vec<Diff>,
+        /// ordered application). Shared with the sender's volatile diff log:
+        /// sending a batch never copies run payloads.
+        diffs: Vec<Arc<Diff>>,
     },
     /// Barrier arrival: participant → barrier manager.
     BarrierArrive {
@@ -131,8 +134,9 @@ pub enum Payload {
         req_id: u64,
         /// The home's version vector for the copy.
         version: VectorClock,
-        /// The page contents.
-        bytes: Vec<u8>,
+        /// The page contents, shared with the home's authoritative copy
+        /// (copy-on-write at the home keeps this immutable).
+        bytes: Arc<[u8]>,
     },
 
     // ---- recovery protocol ----
@@ -172,8 +176,8 @@ pub enum Payload {
         page: PageId,
         /// The starting copy's version vector.
         version: VectorClock,
-        /// The starting copy's contents.
-        bytes: Vec<u8>,
+        /// The starting copy's contents (shared, not copied per hop).
+        bytes: Arc<[u8]>,
     },
     /// Diff-log request for one page: recovering node → every peer.
     RecDiffReq {
@@ -301,7 +305,7 @@ mod tests {
             page: PageId(0),
             req_id: 1,
             version: VectorClock::zero(8),
-            bytes: vec![0; 4096],
+            bytes: vec![0; 4096].into(),
         });
         assert!(m.base_wire_size() > 4096);
         assert!(m.base_wire_size() < 4096 + 64);

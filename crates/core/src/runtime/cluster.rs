@@ -268,6 +268,7 @@ where
             ft,
             ops: st.ops,
             hists: st.hists.clone(),
+            pool: st.pt.pool_stats(),
         });
         st.shutdown = true;
     }

@@ -65,7 +65,8 @@ pub(crate) enum WaitSlot {
         req_id: u64,
         home: ProcId,
         needed: VectorClock,
-        reply: Option<(VectorClock, Vec<u8>)>,
+        /// The shared page buffer from the reply, installed without copying.
+        reply: Option<(VectorClock, Arc<[u8]>)>,
     },
     Lock {
         lock: LockId,
@@ -244,8 +245,8 @@ impl NodeState {
         }
     }
 
-    /// Deposit a page reply.
-    pub(crate) fn deposit_page(&mut self, req_id: u64, version: VectorClock, bytes: Vec<u8>) {
+    /// Deposit a page reply (the shared buffer, never a copy).
+    pub(crate) fn deposit_page(&mut self, req_id: u64, version: VectorClock, bytes: Arc<[u8]>) {
         if let WaitSlot::Page {
             req_id: want,
             reply,
@@ -270,7 +271,8 @@ pub(crate) fn end_interval(st: &mut NodeState) -> (Duration, Duration) {
     let t0 = Instant::now();
     let me = st.me;
     let iv = st.vt.tick(me);
-    let diffs = st.pt.end_interval(iv);
+    let diffs: Vec<Arc<Diff>> = st.pt.end_interval(iv).into_iter().map(Arc::new).collect();
+    st.hists.diff_create.record(t0.elapsed().as_nanos() as u64);
     if diffs.is_empty() {
         // Twins existed but no word actually changed: nothing to publish.
         return (t0.elapsed(), Duration::ZERO);
@@ -290,17 +292,19 @@ pub(crate) fn end_interval(st: &mut NodeState) -> (Duration, Duration) {
         pages: pages.clone(),
     });
 
-    // Group diffs for remote homes.
-    let mut per_home: HashMap<ProcId, Vec<Diff>> = HashMap::new();
+    // Group diffs for remote homes (reference bumps, not payload copies).
+    let mut per_home: HashMap<ProcId, Vec<Arc<Diff>>> = HashMap::new();
     for d in &diffs {
         let home = st.pt.home_of(d.page);
         if home != me {
-            per_home.entry(home).or_default().push(d.clone());
+            per_home.entry(home).or_default().push(Arc::clone(d));
         }
     }
     let proto = t0.elapsed();
 
     // FT: log the write notice and every diff (including homed pages').
+    // The log entry shares the diff object just sent in the batch — logging
+    // costs one Arc bump plus the timestamp, never a payload copy.
     let t1 = Instant::now();
     if let Some(ft) = st.ft.as_mut() {
         let t = st.vt.clone();
@@ -533,7 +537,7 @@ pub(crate) fn serve_waiting_fetches(st: &mut NodeState) {
         if st.pt.home_satisfies(page, &needed) {
             let h = st.pt.home_meta(page);
             let version = h.version.clone();
-            let bytes = h.copy.bytes().to_vec();
+            let bytes = h.copy.share();
             st.send(
                 from,
                 Payload::PageReply {
@@ -632,7 +636,7 @@ fn serve_rec_page(st: &mut NodeState, from: ProcId, page: PageId, tckp: VectorCl
     );
     let n = st.n;
     let ft = st.ft.as_ref().expect("recovery without FT");
-    let mut found: Option<(VectorClock, Vec<u8>)> = None;
+    let mut found: Option<(VectorClock, Arc<[u8]>)> = None;
     for rc in ft.retained.iter().rev() {
         let Some(v) = rc.versions.get(&page) else {
             continue;
@@ -649,11 +653,12 @@ fn serve_rec_page(st: &mut NodeState, from: ProcId, page: PageId, tckp: VectorCl
                 .into_iter()
                 .find(|(p, _, _)| *p == page)
                 .expect("page missing from checkpoint");
-            found = Some((v, bytes));
+            found = Some((v, bytes.into()));
             break;
         }
     }
-    let (version, bytes) = found.unwrap_or_else(|| (VectorClock::zero(n), vec![0u8; st.page_size]));
+    let (version, bytes) =
+        found.unwrap_or_else(|| (VectorClock::zero(n), vec![0u8; st.page_size].into()));
     st.send(
         from,
         Payload::RecPageReply {
@@ -761,9 +766,11 @@ pub(crate) fn handle_msg(st: &mut NodeState, from: ProcId, payload: Payload) {
             req_id,
         } => {
             if st.pt.is_home(page) && st.pt.home_satisfies(page, &needed) {
+                // Serving a page is an Arc bump: the home's next write
+                // copy-on-writes, leaving the served buffer untouched.
                 let h = st.pt.home_meta(page);
                 let version = h.version.clone();
-                let bytes = h.copy.bytes().to_vec();
+                let bytes = h.copy.share();
                 st.send(
                     from,
                     Payload::PageReply {
@@ -797,6 +804,8 @@ pub(crate) fn handle_msg(st: &mut NodeState, from: ProcId, payload: Payload) {
             serve_rec_page(st, from, page, tckp);
         }
         Payload::RecDiffReq { page } => {
+            // Cloning a diff log is cheap now: each entry is an Arc bump
+            // plus a vector-clock clone, never a run-payload copy.
             let entries = st
                 .ft
                 .as_ref()
@@ -1067,11 +1076,11 @@ mod tests {
             reply: None,
         };
         // Stale reply for an older request id is dropped.
-        st.deposit_page(41, VectorClock::zero(3), vec![0; 256]);
+        st.deposit_page(41, VectorClock::zero(3), vec![0; 256].into());
         if let WaitSlot::Page { reply, .. } = &st.wait {
             assert!(reply.is_none());
         }
-        st.deposit_page(42, VectorClock::zero(3), vec![0; 256]);
+        st.deposit_page(42, VectorClock::zero(3), vec![0; 256].into());
         if let WaitSlot::Page { reply, .. } = &st.wait {
             assert!(reply.is_some());
         } else {

@@ -396,7 +396,11 @@ impl Process {
                         }
                     });
                     st.wait = WaitSlot::None;
-                    st.pt.install_fetch(page, &bytes, &version);
+                    // The reply's shared buffer is installed as-is: the
+                    // fetch path (serve → deposit → install) copies zero
+                    // page bytes end to end.
+                    st.hists.fetch_copy.record(0);
+                    st.pt.install_fetch(page, bytes, &version);
                     self.breakdown.page_wait += t0.elapsed();
                     st.hists.page_fetch.record(t0.elapsed().as_nanos() as u64);
                     st.tracer.emit_span(
@@ -429,7 +433,7 @@ impl Process {
                     st.send(p, Payload::RecDiffReq { page });
                 }
             }
-            let mut base: Option<(VectorClock, Vec<u8>)> = None;
+            let mut base: Option<(VectorClock, std::sync::Arc<[u8]>)> = None;
             let mut entries = Vec::new();
             let mut diff_replies = 0usize;
             wait_until(&self.shared, st, |st| {
@@ -466,7 +470,7 @@ impl Process {
             entries.sort_by_key(linear_key);
             let (version, bytes) = base.unwrap();
             let rp = ReplayPage {
-                copy: dsm_page::Page::from_bytes(&bytes),
+                copy: dsm_page::Page::from_shared(bytes),
                 version,
                 entries,
             };
@@ -523,9 +527,12 @@ impl Process {
             }
         }
         rp.entries = rest;
-        let bytes = rp.copy.bytes().to_vec();
+        // Share the emulated-home copy straight into the page table: later
+        // replayed diffs copy-on-write `rp.copy`, so the installed buffer
+        // stays a consistent snapshot.
+        let bytes = rp.copy.share();
         let version = rp.version.clone();
-        st.pt.install_fetch(page, &bytes, &version);
+        st.pt.install_fetch(page, bytes, &version);
     }
 
     // ---- synchronization -----------------------------------------------------

@@ -9,6 +9,7 @@
 use std::time::Duration;
 
 use dsm_net::stats::TrafficSnapshot;
+use dsm_page::PoolStats;
 use dsm_storage::StoreStats;
 use dsm_trace::{LatencyHists, Trace};
 
@@ -98,6 +99,8 @@ pub struct NodeReport {
     pub ops: u64,
     /// Protocol latency histograms (always collected; cheap).
     pub hists: LatencyHists,
+    /// Twin/copy buffer pool statistics (hits = allocation-free reuses).
+    pub pool: PoolStats,
 }
 
 /// The result of a cluster run.
@@ -157,6 +160,15 @@ impl<R> RunReport<R> {
         let mut acc = LatencyHists::default();
         for n in &self.nodes {
             acc.merge(&n.hists);
+        }
+        acc
+    }
+
+    /// All nodes' page-pool statistics folded together.
+    pub fn total_pool(&self) -> PoolStats {
+        let mut acc = PoolStats::default();
+        for n in &self.nodes {
+            acc.merge(&n.pool);
         }
         acc
     }

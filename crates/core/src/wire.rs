@@ -3,7 +3,7 @@
 //! These define the canonical encoded layout of the shared types; the wire
 //! sizes reported by messages and log entries match these encodings.
 
-use dsm_page::{Diff, DiffRun, Interval, PageId, VectorClock};
+use dsm_page::{Diff, Interval, PageId, VectorClock};
 use dsm_storage::{ByteReader, ByteWriter, CodecError};
 use hlrc::WriteNotice;
 
@@ -30,15 +30,19 @@ pub fn get_pages(r: &mut ByteReader) -> Result<Vec<PageId>, CodecError> {
     Ok(r.get_u32_vec()?.into_iter().map(PageId).collect())
 }
 
-/// Encode a diff.
+/// Encode a diff. The layout is exactly what [`Diff::wire_size`] charges:
+/// page id (4) + interval (8) + run count (4), then per run offset (4) +
+/// length (4) + raw bytes. A unit test below pins the equality so traffic
+/// accounting can never silently diverge from the codec again.
 pub fn put_diff(w: &mut ByteWriter, d: &Diff) {
     w.put_u32(d.page.0);
     w.put_u32(d.interval.proc as u32);
     w.put_u32(d.interval.seq);
-    w.put_u64(d.runs.len() as u64);
-    for run in &d.runs {
-        w.put_u32(run.offset);
-        w.put_bytes(&run.bytes);
+    w.put_u32(d.run_count() as u32);
+    for (offset, bytes) in d.runs() {
+        w.put_u32(offset as u32);
+        w.put_u32(bytes.len() as u32);
+        w.put_raw(bytes);
     }
 }
 
@@ -47,18 +51,14 @@ pub fn get_diff(r: &mut ByteReader) -> Result<Diff, CodecError> {
     let page = PageId(r.get_u32()?);
     let proc_ = r.get_u32()? as usize;
     let seq = r.get_u32()?;
-    let nruns = r.get_u64()? as usize;
+    let nruns = r.get_u32()? as usize;
     let mut runs = Vec::with_capacity(nruns);
     for _ in 0..nruns {
         let offset = r.get_u32()?;
-        let bytes = r.get_bytes()?.to_vec();
-        runs.push(DiffRun { offset, bytes });
+        let len = r.get_u32()? as usize;
+        runs.push((offset, r.get_raw(len)?));
     }
-    Ok(Diff {
-        page,
-        interval: Interval { proc: proc_, seq },
-        runs,
-    })
+    Ok(Diff::from_runs(page, Interval { proc: proc_, seq }, runs))
 }
 
 /// Encode a write notice.
@@ -97,6 +97,30 @@ mod tests {
         let mut r = ByteReader::new(&bytes);
         assert_eq!(get_diff(&mut r).unwrap(), d);
         assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn diff_encoded_length_equals_wire_size() {
+        // Multi-run diff: the accounting model and the codec must agree
+        // byte-for-byte, or paper traffic tables drift from reality.
+        let twin = Page::zeroed(256);
+        let mut cur = twin.clone();
+        cur.write(0, &[1; 8]);
+        cur.write(32, &[2; 24]);
+        cur.write(248, &[3; 8]);
+        let d = Diff::create(PageId(9), Interval { proc: 1, seq: 5 }, &twin, &cur).unwrap();
+        assert_eq!(d.run_count(), 3);
+        let mut w = ByteWriter::new();
+        put_diff(&mut w, &d);
+        assert_eq!(w.len(), d.wire_size());
+
+        // Single-run diff too (different header/payload ratio).
+        let mut cur1 = twin.clone();
+        cur1.write(64, &[7; 8]);
+        let d1 = Diff::create(PageId(0), Interval { proc: 0, seq: 1 }, &twin, &cur1).unwrap();
+        let mut w1 = ByteWriter::new();
+        put_diff(&mut w1, &d1);
+        assert_eq!(w1.len(), d1.wire_size());
     }
 
     #[test]

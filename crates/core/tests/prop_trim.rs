@@ -24,7 +24,9 @@ fn diff_entry(seq: u32, page: u32, t: Vec<u32>) -> DiffLogEntry {
     let mut cur = twin.clone();
     cur.write(0, &[seq as u8; 8]);
     DiffLogEntry {
-        diff: Diff::create(PageId(page), Interval { proc: ME, seq }, &twin, &cur).unwrap(),
+        diff: Diff::create(PageId(page), Interval { proc: ME, seq }, &twin, &cur)
+            .unwrap()
+            .into(),
         t: VectorClock::from_vec(t),
         saved: false,
     }

@@ -39,7 +39,7 @@ fn concurrent_all_to_all_delivery_is_complete_and_fifo() {
     for ep in endpoints.iter() {
         let ep = Arc::clone(ep);
         receivers.push(thread::spawn(move || {
-            let mut next = vec![0u64; N];
+            let mut next = [0u64; N];
             let mut got = 0u64;
             while got < PER_PAIR * (N as u64 - 1) {
                 match ep.recv() {

@@ -9,6 +9,8 @@
 //! * [`Diff`] — a word-granularity difference between a twin (pre-write copy)
 //!   and the current page contents, as created by a writer at release time
 //!   and applied by the page's home node.
+//! * [`PagePool`] — a per-node free list recycling twin / copy-on-write
+//!   buffers so steady-state intervals are allocation-free.
 //! * [`VectorClock`] — per-process vector timestamps over synchronization
 //!   intervals; also used as per-page version vectors (`p.v` in the paper).
 //! * [`addr`] — global shared address arithmetic.
@@ -16,9 +18,11 @@
 pub mod addr;
 pub mod diff;
 pub mod page;
+pub mod pool;
 pub mod version;
 
 pub use addr::{GlobalAddr, Layout, PageId};
-pub use diff::{Diff, DiffRun};
+pub use diff::{Diff, DiffRun, DiffScratch};
 pub use page::{Page, PAGE_ALIGN_WORD};
+pub use pool::{PagePool, PoolStats};
 pub use version::{elementwise_min, Interval, ProcId, VectorClock};

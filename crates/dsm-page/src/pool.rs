@@ -1,0 +1,186 @@
+//! A per-node free list of page-sized buffers.
+//!
+//! Twins and copy-on-write page materializations are the only per-interval
+//! buffer consumers on the hot path. Both hand their buffer back when the
+//! interval ends (the twin is dropped after diffing; an invalidated cached
+//! copy is dropped on the next write notice), so a small free list makes
+//! steady-state intervals allocation-free: [`PagePool::take_copy`] pops a
+//! recycled buffer instead of asking the allocator.
+//!
+//! Safety of recycling rests on uniqueness: [`PagePool::recycle`] only
+//! accepts a buffer whose reference count is one. A buffer still referenced
+//! by an in-flight message, a logged diff, or another page copy is rejected
+//! (and simply dropped), so pooled reuse can never scribble over bytes
+//! someone else is reading.
+
+use std::sync::Arc;
+
+use crate::page::Page;
+
+/// Default bound on the number of buffers kept in the free list. Beyond the
+/// bound, recycled buffers are dropped: the pool adapts to the working set
+/// (pages written per interval) without hoarding memory after a burst.
+pub const DEFAULT_POOL_CAP: usize = 1024;
+
+/// Counters describing pool behavior, exported through run reports.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffer requests served from the free list (no allocation).
+    pub hits: u64,
+    /// Buffer requests that fell through to the allocator.
+    pub misses: u64,
+    /// Buffers accepted back into the free list.
+    pub recycled: u64,
+    /// Buffers offered back but dropped (still shared, size mismatch, or
+    /// free list full).
+    pub rejected: u64,
+}
+
+impl PoolStats {
+    /// Accumulate `other` into `self` (for cluster-wide totals).
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.recycled += other.recycled;
+        self.rejected += other.rejected;
+    }
+}
+
+/// A free list of fixed-size unique buffers.
+#[derive(Debug)]
+pub struct PagePool {
+    buf_size: usize,
+    cap: usize,
+    free: Vec<Arc<[u8]>>,
+    stats: PoolStats,
+}
+
+impl PagePool {
+    /// A pool of `buf_size`-byte buffers with the default free-list bound.
+    pub fn new(buf_size: usize) -> Self {
+        Self::with_capacity(buf_size, DEFAULT_POOL_CAP)
+    }
+
+    /// A pool with an explicit free-list bound.
+    pub fn with_capacity(buf_size: usize, cap: usize) -> Self {
+        PagePool {
+            buf_size,
+            cap,
+            free: Vec::new(),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Buffer size this pool serves.
+    pub fn buf_size(&self) -> usize {
+        self.buf_size
+    }
+
+    /// Buffers currently in the free list.
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// A unique buffer initialized from `src`: a recycled buffer when one is
+    /// available (hit), a fresh allocation otherwise (miss).
+    pub fn take_copy(&mut self, src: &[u8]) -> Arc<[u8]> {
+        if src.len() == self.buf_size {
+            if let Some(mut buf) = self.free.pop() {
+                self.stats.hits += 1;
+                Arc::get_mut(&mut buf)
+                    .expect("pooled buffers are unique")
+                    .copy_from_slice(src);
+                return buf;
+            }
+        }
+        self.stats.misses += 1;
+        Arc::from(src)
+    }
+
+    /// Offer a page's buffer back to the pool. Accepted only when the buffer
+    /// is unique (no other clone, message, or log still references it), the
+    /// size matches, and the free list has room. Returns whether the buffer
+    /// was kept.
+    pub fn recycle(&mut self, page: Page) -> bool {
+        let buf = page.into_arc();
+        let unique = Arc::strong_count(&buf) == 1;
+        if unique && buf.len() == self.buf_size && self.free.len() < self.cap {
+            self.free.push(buf);
+            self.stats.recycled += 1;
+            true
+        } else {
+            self.stats.rejected += 1;
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycle_then_take_is_a_hit() {
+        let mut pool = PagePool::new(64);
+        assert!(pool.recycle(Page::zeroed(64)));
+        let src = vec![7u8; 64];
+        let buf = pool.take_copy(&src);
+        assert_eq!(&buf[..], &src[..]);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.recycled), (1, 0, 1));
+    }
+
+    #[test]
+    fn empty_pool_take_is_a_miss() {
+        let mut pool = PagePool::new(64);
+        let buf = pool.take_copy(&[1u8; 64]);
+        assert_eq!(&buf[..], &[1u8; 64]);
+        assert_eq!(pool.stats().misses, 1);
+    }
+
+    #[test]
+    fn shared_buffer_is_rejected() {
+        let mut pool = PagePool::new(64);
+        let p = Page::zeroed(64);
+        let _held = p.share();
+        assert!(!pool.recycle(p));
+        assert_eq!(pool.stats().rejected, 1);
+        assert_eq!(pool.free_len(), 0);
+    }
+
+    #[test]
+    fn wrong_size_is_rejected() {
+        let mut pool = PagePool::new(64);
+        assert!(!pool.recycle(Page::zeroed(128)));
+        assert_eq!(pool.stats().rejected, 1);
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let mut pool = PagePool::with_capacity(64, 2);
+        assert!(pool.recycle(Page::zeroed(64)));
+        assert!(pool.recycle(Page::zeroed(64)));
+        assert!(!pool.recycle(Page::zeroed(64)));
+        assert_eq!(pool.free_len(), 2);
+    }
+
+    #[test]
+    fn steady_state_is_allocation_free() {
+        // twin → end-interval → recycle loop: after warm-up every take hits.
+        let mut pool = PagePool::new(64);
+        let mut page = Page::zeroed(64);
+        for i in 0..10u8 {
+            let twin = page.twin();
+            page.write_pooled(&mut pool, 0, &[i]);
+            pool.recycle(twin);
+        }
+        let s = pool.stats();
+        assert_eq!(s.misses, 1, "only the first interval allocates");
+        assert_eq!(s.hits, 9);
+    }
+}

@@ -1,6 +1,7 @@
 //! Property tests for the diff and vector-clock machinery.
 
-use dsm_page::{Diff, Interval, Page, PageId, VectorClock};
+use dsm_page::diff::reference;
+use dsm_page::{Diff, DiffScratch, Interval, Page, PageId, VectorClock};
 use proptest::prelude::*;
 
 const PAGE: usize = 256;
@@ -9,6 +10,36 @@ const PAGE: usize = 256;
 /// unchanged words.
 fn page_strategy() -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(prop_oneof![Just(0u8), any::<u8>()], PAGE)
+}
+
+/// A twin/current pair built from an explicit write pattern, covering the
+/// shapes the u64 fast path must not get wrong:
+/// - dense: most words mutated (runs span nearly the whole page),
+/// - sparse: a handful of isolated words (many short runs),
+/// - unaligned run boundaries: runs starting/ending at the first/last word
+///   of the page and runs separated by exactly one unchanged word.
+fn pair_strategy() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    let words = PAGE / 8;
+    let base = proptest::collection::vec(any::<u8>(), PAGE);
+    // Each mutation is (word index, new word value); duplicates are fine.
+    let sparse = proptest::collection::vec((0..words, any::<u64>()), 0..6);
+    let dense = proptest::collection::vec((0..words, any::<u64>()), words..2 * words);
+    let edges = prop_oneof![
+        Just(vec![(0usize, 1u64)]),                              // first word only
+        Just(vec![(words - 1, 1u64)]),                           // last word only
+        Just(vec![(0usize, 1u64), (words - 1, 1)]),              // both edges
+        Just(vec![(3usize, 1u64), (5, 1)]),                      // one-word gap
+        Just((0..words).map(|w| (w, 1u64)).collect::<Vec<_>>()), // whole page
+    ];
+    (base, prop_oneof![sparse, dense, edges]).prop_map(
+        |(base, muts): (Vec<u8>, Vec<(usize, u64)>)| {
+            let mut cur = base.clone();
+            for (w, val) in muts {
+                cur[w * 8..w * 8 + 8].copy_from_slice(&val.to_ne_bytes());
+            }
+            (base, cur)
+        },
+    )
 }
 
 proptest! {
@@ -31,20 +62,65 @@ proptest! {
         let twin = Page::from_bytes(&a);
         let cur = Page::from_bytes(&b);
         if let Some(d) = Diff::create(PageId(0), Interval { proc: 0, seq: 1 }, &twin, &cur) {
-            let mut prev_end = 0u32;
-            for (i, run) in d.runs.iter().enumerate() {
-                prop_assert_eq!(run.offset % 8, 0);
-                prop_assert_eq!(run.bytes.len() % 8, 0);
+            let mut prev_end = 0usize;
+            for (i, (off, bytes)) in d.runs().enumerate() {
+                prop_assert_eq!(off % 8, 0);
+                prop_assert_eq!(bytes.len() % 8, 0);
                 if i > 0 {
                     // A gap of at least one unchanged word separates runs.
-                    prop_assert!(run.offset >= prev_end + 8);
+                    prop_assert!(off >= prev_end + 8);
                 }
                 // Boundary words of each run really differ.
-                let off = run.offset as usize;
                 prop_assert_ne!(&a[off..off + 8], &b[off..off + 8]);
-                let last = off + run.bytes.len() - 8;
+                let last = off + bytes.len() - 8;
                 prop_assert_ne!(&a[last..last + 8], &b[last..last + 8]);
-                prev_end = run.offset + run.bytes.len() as u32;
+                prev_end = off + bytes.len();
+            }
+        }
+    }
+
+    /// The u64 fast path produces run-for-run identical output to the
+    /// retained byte-wise reference implementation, on random pairs.
+    #[test]
+    fn fast_diff_equals_reference_random(a in page_strategy(), b in page_strategy()) {
+        let twin = Page::from_bytes(&a);
+        let cur = Page::from_bytes(&b);
+        let naive = reference::create(&twin, &cur);
+        let fast = Diff::create(PageId(0), Interval { proc: 0, seq: 1 }, &twin, &cur);
+        match fast {
+            None => prop_assert!(naive.is_empty()),
+            Some(d) => {
+                let f: Vec<(u32, Vec<u8>)> =
+                    d.runs().map(|(o, bytes)| (o as u32, bytes.to_vec())).collect();
+                let n: Vec<(u32, Vec<u8>)> =
+                    naive.into_iter().map(|r| (r.offset, r.bytes)).collect();
+                prop_assert_eq!(f, n);
+            }
+        }
+    }
+
+    /// Same equivalence on structured dense / sparse / run-boundary-edge
+    /// patterns, plus apply-roundtrip, using the reused node scratch.
+    #[test]
+    fn fast_diff_equals_reference_patterns(pair in pair_strategy()) {
+        let (a, b) = pair;
+        let twin = Page::from_bytes(&a);
+        let cur = Page::from_bytes(&b);
+        let naive = reference::create(&twin, &cur);
+        let mut scratch = DiffScratch::new();
+        let fast = Diff::create_with(
+            &mut scratch, PageId(0), Interval { proc: 0, seq: 1 }, &twin, &cur);
+        match fast {
+            None => prop_assert!(naive.is_empty()),
+            Some(d) => {
+                let f: Vec<(u32, Vec<u8>)> =
+                    d.runs().map(|(o, bytes)| (o as u32, bytes.to_vec())).collect();
+                let n: Vec<(u32, Vec<u8>)> =
+                    naive.into_iter().map(|r| (r.offset, r.bytes)).collect();
+                prop_assert_eq!(f, n);
+                let mut replay = twin.clone();
+                d.apply(&mut replay);
+                prop_assert_eq!(replay.bytes(), cur.bytes());
             }
         }
     }

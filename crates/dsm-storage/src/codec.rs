@@ -111,6 +111,12 @@ impl ByteWriter {
         self.buf.extend_from_slice(v);
     }
 
+    /// Raw bytes with no length prefix (the caller encodes the length
+    /// elsewhere; pairs with [`ByteReader::get_raw`]).
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
     /// Length-prefixed vector of u32 (vector clocks and friends).
     pub fn put_u32_slice(&mut self, v: &[u32]) {
         self.put_u64(v.len() as u64);
@@ -175,6 +181,15 @@ impl<'a> ByteReader<'a> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
+    /// Raw bytes with an externally known length (pairs with
+    /// [`ByteWriter::put_raw`]).
+    pub fn get_raw(&mut self, len: usize) -> Result<&'a [u8], CodecError> {
+        if len as u64 > MAX_FIELD_LEN {
+            return Err(CodecError::LengthOverflow { len: len as u64 });
+        }
+        self.take(len)
+    }
+
     /// Length-prefixed byte string.
     pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
         let len = self.get_u64()?;
@@ -230,6 +245,23 @@ mod tests {
         assert_eq!(r.get_u32_vec().unwrap(), vec![1, 2, 3]);
         assert_eq!(r.get_bytes().unwrap(), b"");
         assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn roundtrip_raw_bytes() {
+        let mut w = ByteWriter::new();
+        w.put_u32(3);
+        w.put_raw(b"abc");
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 4 + 3, "raw bytes carry no length prefix");
+        let mut r = ByteReader::new(&bytes);
+        let n = r.get_u32().unwrap() as usize;
+        assert_eq!(r.get_raw(n).unwrap(), b"abc");
+        assert!(r.is_exhausted());
+        assert!(matches!(
+            r.get_raw(1),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]

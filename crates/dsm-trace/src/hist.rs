@@ -85,11 +85,7 @@ impl Histogram {
 
     /// Mean sample, or 0 when empty.
     pub fn mean(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.sum / self.count
-        }
+        self.sum.checked_div(self.count).unwrap_or(0)
     }
 
     /// Raw bucket counts.
@@ -136,8 +132,14 @@ pub struct LatencyHists {
     pub lock_wait: Histogram,
     /// Barrier wait, arrival to release applied.
     pub barrier_wait: Histogram,
+    /// End-of-interval diff creation pass (all twins of the interval).
+    pub diff_create: Histogram,
     /// Applying one diff to a home page.
     pub diff_apply: Histogram,
+    /// Page bytes physically copied per remote fetch (serve → deposit →
+    /// install). Zero with shared buffers; page-size before them — a
+    /// counter, in bytes rather than nanoseconds.
+    pub fetch_copy: Histogram,
     /// Writing one checkpoint to stable storage.
     pub ckpt_write: Histogram,
     /// Recovery: restoring from the checkpoint.
@@ -150,12 +152,14 @@ pub struct LatencyHists {
 
 impl LatencyHists {
     /// (label, histogram) pairs in print order.
-    pub fn named(&self) -> [(&'static str, &Histogram); 8] {
+    pub fn named(&self) -> [(&'static str, &Histogram); 10] {
         [
             ("page_fetch", &self.page_fetch),
             ("lock_wait", &self.lock_wait),
             ("barrier_wait", &self.barrier_wait),
+            ("diff_create", &self.diff_create),
             ("diff_apply", &self.diff_apply),
+            ("fetch_copy_bytes", &self.fetch_copy),
             ("ckpt_write", &self.ckpt_write),
             ("rec_restore", &self.rec_restore),
             ("rec_log_collect", &self.rec_log_collect),
@@ -168,7 +172,9 @@ impl LatencyHists {
         self.page_fetch.merge(&other.page_fetch);
         self.lock_wait.merge(&other.lock_wait);
         self.barrier_wait.merge(&other.barrier_wait);
+        self.diff_create.merge(&other.diff_create);
         self.diff_apply.merge(&other.diff_apply);
+        self.fetch_copy.merge(&other.fetch_copy);
         self.ckpt_write.merge(&other.ckpt_write);
         self.rec_restore.merge(&other.rec_restore);
         self.rec_log_collect.merge(&other.rec_log_collect);

@@ -9,7 +9,11 @@
 //! an interval creates a *twin*; at interval end, [`PageTable::end_interval`]
 //! turns twins into word-granularity diffs exactly as HLRC does.
 
-use dsm_page::{Diff, Interval, Page, PageId, ProcId, VectorClock};
+use std::sync::Arc;
+
+use dsm_page::{
+    Diff, DiffScratch, Interval, Page, PageId, PagePool, PoolStats, ProcId, VectorClock,
+};
 
 /// Validity of a cached remote page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +89,10 @@ pub struct PageTable {
     n: usize,
     page_size: usize,
     slots: Vec<Slot>,
+    /// Free list recycling twin / copy-on-write buffers across intervals.
+    pool: PagePool,
+    /// Reused diff-creation scratch (one per node, per the zero-copy design).
+    scratch: DiffScratch,
 }
 
 impl PageTable {
@@ -95,7 +103,14 @@ impl PageTable {
             n,
             page_size,
             slots: Vec::new(),
+            pool: PagePool::new(page_size),
+            scratch: DiffScratch::new(),
         }
+    }
+
+    /// Cumulative buffer-pool counters (exported through run reports).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// This node's id.
@@ -203,13 +218,17 @@ impl PageTable {
     /// # Panics
     /// If the page is not accessible.
     pub fn write(&mut self, page: PageId, offset: usize, bytes: &[u8]) {
-        let slot = &mut self.slots[page.index()];
+        let Self { slots, pool, .. } = self;
+        let slot = &mut slots[page.index()];
         match &mut slot.entry {
             Entry::Home(h) => {
                 if slot.twin.is_none() {
+                    // The twin is a free snapshot: the write below
+                    // copy-on-writes the authoritative copy out of the
+                    // now-shared buffer, drawing from the pool.
                     slot.twin = Some(h.copy.twin());
                 }
-                h.copy.write(offset, bytes);
+                h.copy.write_pooled(pool, offset, bytes);
             }
             Entry::Remote(m) => {
                 let copy = m
@@ -219,14 +238,16 @@ impl PageTable {
                 if slot.twin.is_none() {
                     slot.twin = Some(copy.twin());
                 }
-                copy.write(offset, bytes);
+                copy.write_pooled(pool, offset, bytes);
             }
         }
     }
 
-    /// Install a fetched copy of a remote page.
-    pub fn install_fetch(&mut self, page: PageId, bytes: &[u8], version: &VectorClock) {
-        let slot = &mut self.slots[page.index()];
+    /// Install a fetched copy of a remote page, adopting the shared buffer
+    /// without copying. Any replaced local copy is recycled into the pool.
+    pub fn install_fetch(&mut self, page: PageId, bytes: Arc<[u8]>, version: &VectorClock) {
+        let Self { slots, pool, .. } = self;
+        let slot = &mut slots[page.index()];
         match &mut slot.entry {
             Entry::Home(_) => panic!("install_fetch on homed page {page}"),
             Entry::Remote(m) => {
@@ -234,7 +255,10 @@ impl PageTable {
                     version.covers(&m.needed),
                     "fetched copy older than required version"
                 );
-                m.copy = Some(Page::from_bytes(bytes));
+                if let Some(old) = m.copy.take() {
+                    pool.recycle(old);
+                }
+                m.copy = Some(Page::from_shared(bytes));
                 m.state = PageState::Valid;
             }
         }
@@ -244,7 +268,10 @@ impl PageTable {
     /// the pending version (home). Must not be called while the node has an
     /// unflushed twin for the page (sync ops end the interval first).
     pub fn invalidate(&mut self, page: PageId, writer: ProcId, seq: u32) {
-        let slot = &mut self.slots[page.index()];
+        let Self {
+            me, slots, pool, ..
+        } = self;
+        let slot = &mut slots[page.index()];
         assert!(
             slot.twin.is_none(),
             "invalidation with unflushed twin for {page}"
@@ -256,9 +283,11 @@ impl PageTable {
                 }
             }
             Entry::Remote(m) => {
-                if writer != self.me {
+                if writer != *me {
                     m.state = PageState::Invalid;
-                    m.copy = None;
+                    if let Some(old) = m.copy.take() {
+                        pool.recycle(old);
+                    }
                 }
                 if m.needed.get(writer) < seq {
                     m.needed.set(writer, seq);
@@ -285,8 +314,15 @@ impl PageTable {
     /// diff logs.
     pub fn end_interval(&mut self, interval: Interval) -> Vec<Diff> {
         debug_assert_eq!(interval.proc, self.me);
+        let Self {
+            me,
+            slots,
+            pool,
+            scratch,
+            ..
+        } = self;
         let mut diffs = Vec::new();
-        for (i, slot) in self.slots.iter_mut().enumerate() {
+        for (i, slot) in slots.iter_mut().enumerate() {
             let Some(twin) = slot.twin.take() else {
                 continue;
             };
@@ -295,13 +331,17 @@ impl PageTable {
                 Entry::Home(h) => &h.copy,
                 Entry::Remote(m) => m.copy.as_ref().expect("twinned page must be valid"),
             };
-            if let Some(d) = Diff::create(page, interval, &twin, current) {
+            if let Some(d) = Diff::create_with(scratch, page, interval, &twin, current) {
                 diffs.push(d);
             }
+            // The twin's buffer is dead now — hand it back for the next
+            // interval's copy-on-write (rejected harmlessly if still shared,
+            // e.g. by an in-flight page reply).
+            pool.recycle(twin);
             if let Entry::Home(h) = &mut slot.entry {
                 // The home's own writes are applied in place; record them in
                 // the version vector like any other writer's diff.
-                h.version.set(self.me, interval.seq);
+                h.version.set(*me, interval.seq);
             }
         }
         diffs
@@ -314,7 +354,8 @@ impl PageTable {
     /// # Panics
     /// If this node is not the page's home.
     pub fn home_apply_diff(&mut self, diff: &Diff) -> bool {
-        let slot = &mut self.slots[diff.page.index()];
+        let Self { slots, pool, .. } = self;
+        let slot = &mut slots[diff.page.index()];
         let Entry::Home(h) = &mut slot.entry else {
             panic!("diff for page {} sent to non-home", diff.page)
         };
@@ -322,7 +363,7 @@ impl PageTable {
         if h.version.get(writer) >= diff.interval.seq {
             return false;
         }
-        diff.apply(&mut h.copy);
+        diff.apply_pooled(&mut h.copy, pool);
         h.version.set(writer, diff.interval.seq);
         if !h.writers.contains(&writer) {
             h.writers.push(writer);
@@ -462,7 +503,7 @@ mod tests {
     #[test]
     fn fetch_install_then_write_creates_twin_and_diff() {
         let mut t = table();
-        t.install_fetch(PageId(1), &[0u8; 64], &VectorClock::zero(2));
+        t.install_fetch(PageId(1), vec![0u8; 64].into(), &VectorClock::zero(2));
         assert_eq!(t.ensure_access(PageId(1)), AccessOutcome::Ready);
         t.write(PageId(1), 8, &[42]);
         assert_eq!(t.written_pages(), vec![PageId(1)]);
@@ -501,7 +542,7 @@ mod tests {
     #[test]
     fn invalidation_forces_refetch_with_higher_version() {
         let mut t = table();
-        t.install_fetch(PageId(1), &[0u8; 64], &VectorClock::zero(2));
+        t.install_fetch(PageId(1), vec![0u8; 64].into(), &VectorClock::zero(2));
         t.invalidate(PageId(1), 1, 4);
         match t.ensure_access(PageId(1)) {
             AccessOutcome::NeedFetch { needed, .. } => assert_eq!(needed.get(1), 4),
@@ -512,7 +553,7 @@ mod tests {
     #[test]
     fn own_write_notice_does_not_invalidate_own_copy() {
         let mut t = table();
-        t.install_fetch(PageId(1), &[0u8; 64], &VectorClock::zero(2));
+        t.install_fetch(PageId(1), vec![0u8; 64].into(), &VectorClock::zero(2));
         // A notice about our own interval comes back via a barrier: the
         // local copy already contains those writes.
         t.invalidate(PageId(1), 0, 1);
@@ -542,7 +583,7 @@ mod tests {
     #[test]
     fn restart_reset_drops_copies_and_restores_needed() {
         let mut t = table();
-        t.install_fetch(PageId(1), &[1u8; 64], &VectorClock::zero(2));
+        t.install_fetch(PageId(1), vec![1u8; 64].into(), &VectorClock::zero(2));
         t.reset_for_restart(&[(PageId(1), 1, 7)]);
         match t.ensure_access(PageId(1)) {
             AccessOutcome::NeedFetch { needed, .. } => assert_eq!(needed.get(1), 7),

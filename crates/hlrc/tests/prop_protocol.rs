@@ -15,7 +15,7 @@ proptest! {
     fn lock_chain_is_a_chain(reqs in proptest::collection::vec(0usize..5, 1..40)) {
         let me = 7usize;
         let mut mgr = LockManagerTable::new(me);
-        let mut acq_seq = vec![0u64; 6];
+        let mut acq_seq = [0u64; 6];
         let mut prev_requester = me;
         let mut prev_acq = u64::MAX;
         let mut prev_gen = 0u64;
@@ -39,7 +39,7 @@ proptest! {
     #[test]
     fn lock_retransmission_is_idempotent(reqs in proptest::collection::vec(0usize..4, 1..20)) {
         let mut mgr = LockManagerTable::new(0);
-        let mut acq_seq = vec![0u64; 4];
+        let mut acq_seq = [0u64; 4];
         let mut actions = Vec::new();
         for r in &reqs {
             let seq = acq_seq[*r];

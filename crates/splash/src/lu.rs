@@ -138,7 +138,7 @@ pub fn lu(p: &mut Process, params: &LuParams) -> u64 {
     let n = params.n;
     let b = params.block;
     assert!(
-        n % b == 0,
+        n.is_multiple_of(b),
         "matrix dimension must be a multiple of the block size"
     );
     let nb = n / b;

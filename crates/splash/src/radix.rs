@@ -115,7 +115,7 @@ pub fn radix(p: &mut Process, params: &RadixParams) -> u64 {
     });
 
     p.barrier();
-    let fin = if passes % 2 == 0 { &a } else { &b };
+    let fin = if passes.is_multiple_of(2) { &a } else { &b };
     let mut sum = 0u64;
     let mut prev = 0u64;
     for i in 0..nk {

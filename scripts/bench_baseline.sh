@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Regenerate the diff-pipeline benchmark baseline.
+#
+# Usage: scripts/bench_baseline.sh [OUT.json]
+#
+# Runs the criterion micro benches (benches/micro.rs and benches/diff.rs)
+# plus a short paper-harness `hist` run, and distills the numbers this
+# baseline tracks into OUT.json (default BENCH_diff.json):
+#
+#   - diff create ns/op at four sparsity levels (1/32/256/512 dirty words
+#     of a 4 KiB page), for both the naive byte-wise reference and the
+#     u64 word-diff fast path;
+#   - diff apply ns/op (plain and pooled) at the same levels;
+#   - the steady-state twin cycle (twin + write + diff + recycle) ns/op;
+#   - bytes physically copied per remote page fetch (zero-copy check);
+#   - page-pool counters from a real FT Water-Spatial run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_diff.json}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+cargo bench -p dsm-bench --bench diff | tee "$TMP/diff.txt"
+cargo bench -p dsm-bench --bench micro | tee "$TMP/micro.txt"
+cargo run -q --release -p dsm-bench --bin paper -- hist >"$TMP/hist.txt"
+
+# Median ns/iter of one `bench <id> <median> ns/iter ...` line.
+median() {
+    awk -v id="$1" '$1 == "bench" && $2 == id { print $3; exit }' "$TMP/diff.txt"
+}
+
+# First (clean-run) fetch_copy_bytes row: count and mean bytes per fetch.
+FETCHES=$(awk '$1 == "fetch_copy_bytes" { print $2; exit }' "$TMP/hist.txt")
+FETCH_BYTES=$(awk '$1 == "fetch_copy_bytes" { print $3; exit }' "$TMP/hist.txt")
+# Clean-run pool counters: "page pool: H hits, M misses, R recycled, X rejected".
+read -r HITS MISSES RECYCLED REJECTED < <(
+    awk -F'[ ,]+' '/page pool:/ { print $4, $6, $8, $10; exit }' "$TMP/hist.txt"
+)
+
+{
+    echo '{'
+    echo '  "generated_by": "scripts/bench_baseline.sh",'
+    echo '  "page_bytes": 4096,'
+    echo '  "diff_create_ns_per_op": {'
+    for d in 1 32 256 512; do
+        comma=$([ "$d" = 512 ] && echo "" || echo ",")
+        echo "    \"dirty_words_$d\": {\"naive\": $(median "diff_create/naive_4k/$d"), \"u64\": $(median "diff_create/u64_4k/$d")}$comma"
+    done
+    echo '  },'
+    echo "  \"diff_create_identical_ns_per_op\": $(median "diff_create/u64_4k_identical"),"
+    echo '  "diff_apply_ns_per_op": {'
+    for d in 1 32 256 512; do
+        comma=$([ "$d" = 512 ] && echo "" || echo ",")
+        echo "    \"dirty_words_$d\": {\"plain\": $(median "diff_apply/plain_4k/$d"), \"pooled\": $(median "diff_apply/pooled_4k/$d")}$comma"
+    done
+    echo '  },'
+    echo "  \"twin_cycle_ns_per_op\": $(median "twin_cycle/pooled_4k"),"
+    echo "  \"fetch\": {\"count\": $FETCHES, \"bytes_copied_per_fetch\": $FETCH_BYTES},"
+    echo "  \"pool\": {\"hits\": $HITS, \"misses\": $MISSES, \"recycled\": $RECYCLED, \"rejected\": $REJECTED}"
+    echo '}'
+} >"$OUT"
+
+echo "wrote $OUT"
+cat "$OUT"

@@ -47,8 +47,8 @@ fn crash_run_exports_valid_chrome_trace_with_recovery_lanes() {
         .expect("traceEvents array");
 
     // One lane (tid) per node, both named and populated.
-    let mut lanes_named = vec![false; NODES];
-    let mut lanes_used = vec![false; NODES];
+    let mut lanes_named = [false; NODES];
+    let mut lanes_used = [false; NODES];
     let mut recovery_phases = Vec::new();
     let mut complete_events = 0usize;
     for ev in events {
