@@ -65,7 +65,7 @@ fn bench_lock_handoff(c: &mut Criterion) {
 }
 
 fn bench_barrier(c: &mut Criterion) {
-    for &n in &[2usize, 4] {
+    for &n in &[2usize, 4, 8] {
         c.bench_function(&format!("protocol/barrier_{n}n"), |b| {
             b.iter_custom(|iters| {
                 run_timed(n, iters, |p, iters| {
@@ -89,6 +89,60 @@ fn bench_write_and_flush(c: &mut Criterion) {
                         data.set(p, (i % 512) as usize, i);
                         p.release(1); // diff created, logged is off, sent to home
                     }
+                }
+            })
+        })
+    });
+}
+
+/// The batched-fetch path: the producer dirties 16 pages, the barrier's
+/// write notices invalidate them at the consumer, and the consumer's eager
+/// prefetch pulls all 16 back in one `PageBatchReq` round trip before the
+/// reads touch them.
+fn bench_prefetch_batch(c: &mut Criterion) {
+    c.bench_function("protocol/invalidate_fetch_16p_2n", |b| {
+        b.iter_custom(|iters| {
+            run_timed(2, iters, |p, iters| {
+                let data = p.alloc_vec::<u64>(16 * 512, HomeAlloc::Node(0));
+                for i in 0..iters {
+                    if p.me() == 0 {
+                        for pg in 0..16 {
+                            data.set(p, pg * 512, i + pg as u64);
+                        }
+                    }
+                    p.barrier();
+                    if p.me() == 1 {
+                        for pg in 0..16 {
+                            std::hint::black_box(data.get(p, pg * 512));
+                        }
+                    }
+                    p.barrier();
+                }
+            })
+        })
+    });
+}
+
+/// Concurrent home service: node 0 dirties one page per reader each round,
+/// and after the barrier all three readers fetch from node 0 at once. The
+/// sharded store lets its service thread answer the simultaneous fetches
+/// without serializing them behind the big node lock.
+fn bench_contended_home(c: &mut Criterion) {
+    c.bench_function("protocol/page_fetch_contended_4n", |b| {
+        b.iter_custom(|iters| {
+            run_timed(4, iters, |p, iters| {
+                let data = p.alloc_vec::<u64>(3 * 512, HomeAlloc::Node(0));
+                for i in 0..iters {
+                    if p.me() == 0 {
+                        for pg in 0..3 {
+                            data.set(p, pg * 512, i + pg as u64);
+                        }
+                    }
+                    p.barrier();
+                    if p.me() != 0 {
+                        std::hint::black_box(data.get(p, (p.me() - 1) * 512));
+                    }
+                    p.barrier();
                 }
             })
         })
@@ -125,6 +179,7 @@ fn bench_checkpoint(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3));
-    targets = bench_page_fetch, bench_lock_handoff, bench_barrier, bench_write_and_flush, bench_checkpoint
+    targets = bench_page_fetch, bench_lock_handoff, bench_barrier, bench_write_and_flush,
+        bench_prefetch_batch, bench_contended_home, bench_checkpoint
 }
 criterion_main!(benches);

@@ -182,8 +182,17 @@ impl VolatileLogs {
         (d + w) as u64
     }
 
-    /// Record one completed interval: its write notice and its diffs.
-    pub fn log_interval(&mut self, seq: u32, pages: Vec<PageId>, diffs: Vec<DiffLogEntry>) {
+    /// Record one completed interval: its write notice and its diffs. The
+    /// diffs are the exact `Arc`s the interval's outgoing `DiffBatch`es
+    /// share, taken as one batch with the interval-end timestamp `t` — the
+    /// log entries are built here so callers never clone run payloads.
+    pub fn log_interval(
+        &mut self,
+        seq: u32,
+        pages: Vec<PageId>,
+        t: &VectorClock,
+        diffs: &[Arc<dsm_page::Diff>],
+    ) {
         let entry = WnLogEntry {
             seq,
             pages,
@@ -191,7 +200,12 @@ impl VolatileLogs {
         };
         self.counters.created_bytes += entry.wire_size() as u64;
         self.wn.push(entry);
-        for d in diffs {
+        for diff in diffs {
+            let d = DiffLogEntry {
+                diff: Arc::clone(diff),
+                t: t.clone(),
+                saved: false,
+            };
             self.counters.created_bytes += d.wire_size() as u64;
             self.diffs.entry(d.diff.page).or_default().push(d);
         }
@@ -376,23 +390,17 @@ mod tests {
         VectorClock::from_vec(v.to_vec())
     }
 
-    fn diff_entry(me: ProcId, page: u32, seq: u32, t: &[u32]) -> DiffLogEntry {
+    fn diff(me: ProcId, page: u32, seq: u32) -> Arc<Diff> {
         let twin = Page::zeroed(64);
         let mut cur = twin.clone();
         cur.write(0, &[seq as u8; 8]);
-        DiffLogEntry {
-            diff: Arc::new(
-                Diff::create(PageId(page), Interval { proc: me, seq }, &twin, &cur).unwrap(),
-            ),
-            t: vt(t),
-            saved: false,
-        }
+        Arc::new(Diff::create(PageId(page), Interval { proc: me, seq }, &twin, &cur).unwrap())
     }
 
     #[test]
     fn interval_logging_accounts_bytes() {
         let mut l = VolatileLogs::new(0, 2);
-        l.log_interval(1, vec![PageId(0)], vec![diff_entry(0, 0, 1, &[1, 0])]);
+        l.log_interval(1, vec![PageId(0)], &vt(&[1, 0]), &[diff(0, 0, 1)]);
         assert!(l.volatile_bytes() > 0);
         assert_eq!(l.counters().created_bytes, l.volatile_bytes());
         assert_eq!(l.counters().discarded_bytes, 0);
@@ -402,7 +410,7 @@ mod tests {
     fn rule1_trims_covered_write_notices() {
         let mut l = VolatileLogs::new(0, 2);
         for seq in 1..=5 {
-            l.log_interval(seq, vec![PageId(seq)], vec![]);
+            l.log_interval(seq, vec![PageId(seq)], &vt(&[seq, 0]), &[]);
         }
         l.trim_rule1(3);
         let seqs: Vec<_> = l.wn.iter().map(|e| e.seq).collect();
@@ -457,9 +465,9 @@ mod tests {
     #[test]
     fn rule3_trims_diffs_covered_by_starting_copy() {
         let mut l = VolatileLogs::new(0, 2);
-        l.log_interval(1, vec![PageId(9)], vec![diff_entry(0, 9, 1, &[1, 0])]);
-        l.log_interval(2, vec![PageId(9)], vec![diff_entry(0, 9, 2, &[2, 0])]);
-        l.log_interval(3, vec![PageId(7)], vec![diff_entry(0, 7, 3, &[3, 0])]);
+        l.log_interval(1, vec![PageId(9)], &vt(&[1, 0]), &[diff(0, 9, 1)]);
+        l.log_interval(2, vec![PageId(9)], &vt(&[2, 0]), &[diff(0, 9, 2)]);
+        l.log_interval(3, vec![PageId(7)], &vt(&[3, 0]), &[diff(0, 7, 3)]);
         let mut p0v = HashMap::new();
         p0v.insert(PageId(9), 1u32); // home's oldest retained copy has our interval 1
         l.trim_rule3(&p0v);
@@ -475,9 +483,10 @@ mod tests {
         l.log_interval(
             1,
             vec![PageId(0), PageId(2)],
-            vec![diff_entry(0, 0, 1, &[1, 0])],
+            &vt(&[1, 0]),
+            &[diff(0, 0, 1)],
         );
-        l.log_interval(2, vec![PageId(2)], vec![diff_entry(0, 2, 2, &[2, 1])]);
+        l.log_interval(2, vec![PageId(2)], &vt(&[2, 1]), &[diff(0, 2, 2)]);
         let bytes = l.encode_stable();
         // Saving marks entries; decoding marks them saved too.
         assert!(l.mark_saved() > 0);

@@ -209,9 +209,9 @@ pub(crate) fn take_checkpoint(
     let mut home_pages = Vec::with_capacity(homed.len());
     let mut versions = HashMap::with_capacity(homed.len());
     for &p in &homed {
-        let h = st.pt.home_meta(p);
-        home_pages.push((p, h.version.clone(), h.copy.bytes().to_vec()));
-        versions.insert(p, h.version.clone());
+        let (version, bytes) = st.pt.home_snapshot(p);
+        home_pages.push((p, version.clone(), bytes.to_vec()));
+        versions.insert(p, version);
     }
     let ft = st.ft.as_mut().expect("checkpoint without FT enabled");
     let seq = ft.ckpt_seq + 1;

@@ -112,10 +112,14 @@ pub(crate) fn run_recovery(shared: &Arc<NodeShared>) -> (u64, Vec<u8>) {
         st.pending_grants.clear();
         st.lock_chain_info.clear();
         st.wait = crate::runtime::node::WaitSlot::None;
-        st.waiting_fetches.clear();
+        st.prefetch.clear();
+        st.pt.home_store().clear_waiting();
         st.wn_since_barrier.clear();
-        st.lock_mgr = hlrc::LockManagerTable::new(me);
-        st.bar_mgr = None;
+        {
+            let mut sync = st.sync.lock();
+            sync.lock_mgr = hlrc::LockManagerTable::new(me);
+            sync.bar_mgr = None;
+        }
         st.rec_inbox.clear();
 
         let (step, app_state) = match &latest {
@@ -319,7 +323,10 @@ pub(crate) fn run_recovery(shared: &Arc<NodeShared>) -> (u64, Vec<u8>) {
                     // Manager rebuild: chains for locks we manage.
                     for (lock, gen, grantee, grantee_acq) in lock_chains {
                         if lock % n == me {
-                            st.lock_mgr.restore_chain(lock, gen, grantee, grantee_acq);
+                            st.sync
+                                .lock()
+                                .lock_mgr
+                                .restore_chain(lock, gen, grantee, grantee_acq);
                         }
                     }
                 } else {
@@ -340,7 +347,10 @@ pub(crate) fn run_recovery(shared: &Arc<NodeShared>) -> (u64, Vec<u8>) {
             .collect();
         for (lock, gen, grantee, grantee_acq) in own_chains {
             if lock % n == me {
-                st.lock_mgr.restore_chain(lock, gen, grantee, grantee_acq);
+                st.sync
+                    .lock()
+                    .lock_mgr
+                    .restore_chain(lock, gen, grantee, grantee_acq);
             }
         }
         // Rebuild the barrier-manager mirror for future recoveries of peers.
@@ -461,9 +471,9 @@ pub(crate) fn go_live(st: &mut NodeState) {
             None
         };
         mgr.restore(ep, last);
-        st.bar_mgr = Some(mgr);
+        st.sync.lock().bar_mgr = Some(mgr);
     }
-    st.mode = Mode::Normal;
+    st.set_mode(Mode::Normal);
     let backlog = std::mem::take(&mut st.backlog);
     for (from, payload) in backlog {
         handle_msg(st, from, payload);

@@ -126,6 +126,28 @@ pub enum Payload {
         /// Requester-local correlation id (dedup of retransmitted replies).
         req_id: u64,
     },
+    /// Batched page fetch: requester → home. One round trip prefetches
+    /// every page homed at the receiver that the requester just invalidated
+    /// (issued eagerly after an acquire or barrier applies write notices).
+    /// The home answers each page once its copy covers that page's `needed`;
+    /// pages already current go back together in one [`Payload::PageBatchReply`],
+    /// stragglers arrive later as individual [`Payload::PageReply`]s carrying
+    /// the same `req_id`.
+    PageBatchReq {
+        /// `(page, minimal version the reply must include)` per page.
+        pages: Vec<(PageId, VectorClock)>,
+        /// Requester-local correlation id shared by the whole batch.
+        req_id: u64,
+    },
+    /// Batched page contents: home → requester, for the pages of a
+    /// [`Payload::PageBatchReq`] that were ready immediately.
+    PageBatchReply {
+        /// Correlation id echoed from the request.
+        req_id: u64,
+        /// `(page, home version, contents)` per ready page; contents are
+        /// shared with the home's authoritative copy.
+        pages: Vec<(PageId, VectorClock, Arc<[u8]>)>,
+    },
     /// Page contents: home → requester.
     PageReply {
         /// The page.
@@ -210,6 +232,18 @@ impl Payload {
                 9 + vt.wire_size() + wns.iter().map(|w| w.wire_size()).sum::<usize>()
             }
             Payload::PageReq { needed, .. } => 13 + needed.wire_size(),
+            Payload::PageBatchReq { pages, .. } => {
+                17 + pages
+                    .iter()
+                    .map(|(_, needed)| 4 + needed.wire_size())
+                    .sum::<usize>()
+            }
+            Payload::PageBatchReply { pages, .. } => {
+                17 + pages
+                    .iter()
+                    .map(|(_, version, bytes)| 8 + version.wire_size() + bytes.len())
+                    .sum::<usize>()
+            }
             Payload::PageReply { version, bytes, .. } => 17 + version.wire_size() + bytes.len(),
             Payload::RecLogReq => 1,
             Payload::RecLogReply {
@@ -252,6 +286,8 @@ impl Payload {
             Payload::BarrierArrive { .. } => "BarrierArrive",
             Payload::BarrierRelease { .. } => "BarrierRelease",
             Payload::PageReq { .. } => "PageReq",
+            Payload::PageBatchReq { .. } => "PageBatchReq",
+            Payload::PageBatchReply { .. } => "PageBatchReply",
             Payload::PageReply { .. } => "PageReply",
             Payload::RecLogReq => "RecLogReq",
             Payload::RecLogReply { .. } => "RecLogReply",

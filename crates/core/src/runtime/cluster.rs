@@ -1,7 +1,8 @@
 //! Cluster construction and the run loop.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -16,7 +17,9 @@ use parking_lot::{Condvar, Mutex};
 use crate::config::{ClusterConfig, FailureSpec};
 use crate::ft::FtState;
 use crate::msg::Msg;
-use crate::runtime::node::{service_loop, CrashSignal, Mode, NodeShared, NodeState, WaitSlot};
+use crate::runtime::node::{
+    service_loop, CrashSignal, Mode, NodeShared, NodeState, SyncState, WaitSlot,
+};
 use crate::runtime::process::Process;
 use crate::stats::{NodeReport, RunReport};
 
@@ -77,11 +80,14 @@ where
             n,
             page_size: config.page_size,
             mode: Mode::Normal,
+            mode_flag: Arc::new(AtomicU8::new(Mode::Normal.flag())),
             pt: PageTable::new(i, n, config.page_size),
             vt: VectorClock::zero(n),
             wn_table: WnTable::new(),
-            lock_mgr: LockManagerTable::new(i),
-            bar_mgr: (i == 0).then(|| BarrierManager::new(n)),
+            sync: Arc::new(Mutex::new(SyncState {
+                lock_mgr: LockManagerTable::new(i),
+                bar_mgr: (i == 0).then(|| BarrierManager::new(n)),
+            })),
             held: Default::default(),
             tenure: Default::default(),
             last_release_vt: Default::default(),
@@ -91,7 +97,7 @@ where
             rec_inbox: Vec::new(),
             backlog: Vec::new(),
             pending_unalloc: Vec::new(),
-            waiting_fetches: Vec::new(),
+            prefetch: HashMap::new(),
             acq_seq_next: 0,
             bar_episode: 0,
             req_id_next: 0,
@@ -104,6 +110,7 @@ where
                 .map(|cfg| FtState::new(i, n, cfg, Arc::clone(&store))),
             replay: None,
             protocol_time_svc: Duration::ZERO,
+            svc_time_by_kind: HashMap::new(),
             shutdown: false,
             ops: 0,
             crash_queue,
@@ -168,9 +175,20 @@ where
                                 // lose queued input.
                                 {
                                     let mut st = shared.state.lock();
-                                    st.mode = Mode::Crashed;
+                                    st.set_mode(Mode::Crashed);
                                     st.wait = WaitSlot::None;
                                     st.replay = None;
+                                    st.prefetch.clear();
+                                    // Fence the lock-free fast path: after
+                                    // the mode flag flips, drain the sync
+                                    // and shard locks so no fast-path op
+                                    // started before the flip is still in
+                                    // flight, then drop parked fetches
+                                    // (requesters retransmit on NodeUp).
+                                    drop(st.sync.lock());
+                                    let home = st.pt.home_store();
+                                    home.quiesce();
+                                    home.clear_waiting();
                                 }
                                 fabric.crash(i);
                                 {
@@ -181,7 +199,7 @@ where
                                 std::thread::sleep(Duration::from_millis(10));
                                 {
                                     let mut st = shared.state.lock();
-                                    st.mode = Mode::Recovering;
+                                    st.set_mode(Mode::Recovering);
                                     st.backlog.clear();
                                     st.rec_inbox.clear();
                                     st.pending_unalloc.clear();
@@ -220,6 +238,18 @@ where
         }
     }
 
+    // Stop the service threads before collecting reports: the fast path
+    // folds its accumulated per-kind timing and histograms into the node
+    // state only at loop exit.
+    for s in shareds.iter() {
+        let mut st = s.state.lock();
+        st.shutdown = true;
+        st.ep.wake();
+    }
+    for h in service_handles {
+        let _ = h.join();
+    }
+
     // Collect reports and compute the final shared-memory hash from the
     // authoritative home copies.
     let mut nodes = Vec::with_capacity(n);
@@ -231,20 +261,18 @@ where
         let page = dsm_page::PageId(p as u32);
         let home = shareds[0].state.lock().pt.home_of(page);
         let st = shareds[home].state.lock();
+        let (version, bytes) = st.pt.home_snapshot(page);
         let mut ph: u64 = 0xcbf29ce484222325;
-        for &b in st.pt.home_meta(page).copy.bytes() {
+        for &b in bytes.iter() {
             ph ^= b as u64;
             ph = ph.wrapping_mul(0x100000001b3);
         }
         if debug_pages {
-            let words: Vec<u64> = st.pt.home_meta(page).copy.bytes()[..64]
+            let words: Vec<u64> = bytes[..64]
                 .chunks(8)
                 .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
                 .collect();
-            eprintln!(
-                "[dump] page {page} home {home} v={} hash {ph:016x} words {words:?}",
-                st.pt.home_meta(page).version
-            );
+            eprintln!("[dump] page {page} home {home} v={version} hash {ph:016x} words {words:?}");
         }
         hash ^= ph;
         hash = hash.wrapping_mul(0x100000001b3);
@@ -262,6 +290,9 @@ where
             }
             None => Default::default(),
         };
+        let mut svc_time_by_kind: Vec<_> =
+            st.svc_time_by_kind.iter().map(|(&k, &d)| (k, d)).collect();
+        svc_time_by_kind.sort_unstable_by_key(|&(k, _)| k);
         nodes.push(NodeReport {
             breakdown,
             traffic: fabric.stats().node(i).snapshot(),
@@ -269,11 +300,9 @@ where
             ops: st.ops,
             hists: st.hists.clone(),
             pool: st.pt.pool_stats(),
+            svc_time_by_kind,
+            msg_kinds: fabric.stats().node(i).kind_counts(),
         });
-        st.shutdown = true;
-    }
-    for h in service_handles {
-        let _ = h.join();
     }
 
     RunReport {

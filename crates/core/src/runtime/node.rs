@@ -6,8 +6,18 @@
 //! receives fabric messages, advances the protocol, and notifies waiters.
 //! This mirrors the paper's setup, where VMMC handlers service remote
 //! requests while the application computes.
+//!
+//! The big state lock is *not* the only lock (see DESIGN.md "Hot path").
+//! Home-page state lives in the sharded [`hlrc::HomeStore`] and
+//! lock/barrier-manager state in the small [`SyncState`] lock, so the
+//! service loop serves `PageReq`/`PageBatchReq`/`DiffBatch`/`LockAcq`
+//! traffic on a fast path that never touches the big lock while the
+//! application computes under it. The big lock keeps the rarely-contended
+//! rest: mode, waits, FT logs, recovery state. Lock order is big → sync →
+//! shard; shard locks are leaves.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -16,10 +26,13 @@ use dsm_page::{Diff, PageId, ProcId, VectorClock};
 use dsm_trace::{EventKind, LatencyHists, NodeTracer};
 use hlrc::barrier::{Arrival, ArriveOutcome, BarrierManager};
 use hlrc::locks::{AcqReq, LockAction, LockManagerTable};
-use hlrc::{LockId, PageTable, WnTable, WriteNotice};
+use hlrc::{
+    ApplyOutcome, FetchOutcome, HomeStore, LockId, PageState, PageTable, WaitingFetch, WnTable,
+    WriteNotice,
+};
 use parking_lot::{Condvar, Mutex};
 
-use crate::ft::logs::{DiffLogEntry, MgrBarEntry, RelEntry};
+use crate::ft::logs::{MgrBarEntry, RelEntry};
 use crate::ft::recovery::ReplayState;
 use crate::ft::FtState;
 use crate::msg::{Msg, Payload, Piggy};
@@ -35,6 +48,42 @@ pub(crate) enum Mode {
     Normal,
     Crashed,
     Recovering,
+}
+
+impl Mode {
+    /// Encoding for the lock-free [`NodeState::mode_flag`] mirror.
+    pub(crate) fn flag(self) -> u8 {
+        match self {
+            Mode::Normal => 0,
+            Mode::Crashed => 1,
+            Mode::Recovering => 2,
+        }
+    }
+}
+
+/// [`Mode::Normal`] as seen through the atomic mirror.
+pub(crate) const MODE_NORMAL: u8 = 0;
+
+/// Lock-manager and barrier-manager state, behind its own small lock.
+///
+/// Fast-path `LockAcq` routing (manager forwards to the chain tail) only
+/// needs this state, so the service thread can route forwards while the
+/// application holds the big lock. The application thread takes this lock
+/// *after* the big lock (big → sync); neither is ever taken while a
+/// home-store shard lock is held.
+pub(crate) struct SyncState {
+    pub lock_mgr: LockManagerTable,
+    pub bar_mgr: Option<BarrierManager>,
+}
+
+/// A prefetch batch entry: one invalidated remote page with a batched
+/// fetch in flight to its home.
+#[derive(Debug, Clone)]
+pub(crate) struct PrefetchEntry {
+    /// Correlation id of the `PageBatchReq` that covers this page.
+    pub req_id: u64,
+    /// The page's home (retransmission target on `NodeUp`).
+    pub home: ProcId,
 }
 
 /// A lock grant in flight to the application thread.
@@ -100,11 +149,14 @@ pub(crate) struct NodeState {
     pub n: usize,
     pub page_size: usize,
     pub mode: Mode,
+    /// Lock-free mirror of `mode` for the service loop's fast path. Only
+    /// [`NodeState::set_mode`] writes it (always under the big lock).
+    pub mode_flag: Arc<AtomicU8>,
     pub pt: PageTable,
     pub vt: VectorClock,
     pub wn_table: WnTable,
-    pub lock_mgr: LockManagerTable,
-    pub bar_mgr: Option<BarrierManager>,
+    /// Lock- and barrier-manager state (its own small lock; big → sync).
+    pub sync: Arc<Mutex<SyncState>>,
     pub held: HashSet<LockId>,
     /// Latest tenure per lock: (our own acquisition sequence number,
     /// released?). Deterministic local knowledge, reconstructed exactly by
@@ -126,8 +178,11 @@ pub(crate) struct NodeState {
     /// application thread reaches the corresponding alloc). Replayed by
     /// [`crate::Process::alloc`].
     pub pending_unalloc: Vec<(ProcId, Payload)>,
-    /// Remote fetches waiting for in-flight diffs at this home.
-    pub waiting_fetches: Vec<(ProcId, PageId, VectorClock, u64)>,
+    /// Remote pages with a batched prefetch in flight (issued right after
+    /// an acquire or barrier invalidated them). A first touch of one of
+    /// these waits for the batch reply instead of sending its own
+    /// `PageReq`.
+    pub prefetch: HashMap<PageId, PrefetchEntry>,
     pub acq_seq_next: u64,
     pub bar_episode: u64,
     pub req_id_next: u64,
@@ -138,8 +193,11 @@ pub(crate) struct NodeState {
     pub alloc_cursor: u32,
     pub ft: Option<FtState>,
     pub replay: Option<ReplayState>,
-    /// Service-thread protocol handler time.
+    /// Service-thread protocol handler time (all message kinds).
     pub protocol_time_svc: Duration,
+    /// Service-thread handler time attributed per message kind (fast-path
+    /// time is folded in when the service loop exits).
+    pub svc_time_by_kind: HashMap<&'static str, Duration>,
     pub shutdown: bool,
     /// DSM operations executed (crash-injection clock).
     pub ops: u64,
@@ -164,6 +222,15 @@ pub(crate) struct NodeShared {
 }
 
 impl NodeState {
+    /// Change the node's mode, keeping the fast path's atomic mirror in
+    /// step. Every transition happens under the big lock; the store-then-
+    /// quiesce fencing on the crash path is what makes the mirror safe to
+    /// read without it (see DESIGN.md).
+    pub(crate) fn set_mode(&mut self, m: Mode) {
+        self.mode = m;
+        self.mode_flag.store(m.flag(), Ordering::SeqCst);
+    }
+
     /// Send a protocol message with the FT piggyback attached (when it
     /// carries news: a checkpoint timestamp the destination hasn't seen,
     /// `p0.v` hints, or — on barrier releases — the gossip table).
@@ -192,7 +259,7 @@ impl NodeState {
                 }
                 let page = homed[(start + k) % homed.len()];
                 ft.piggy_cursor = (start + k + 1) % homed.len();
-                if !self.pt.home_meta(page).writers.contains(&to) {
+                if !self.pt.home_writers_contain(page, to) {
                     continue;
                 }
                 if let Some(v) = ft.cover_version(me, page) {
@@ -245,8 +312,16 @@ impl NodeState {
         }
     }
 
-    /// Deposit a page reply (the shared buffer, never a copy).
-    pub(crate) fn deposit_page(&mut self, req_id: u64, version: VectorClock, bytes: Arc<[u8]>) {
+    /// Deposit a page reply (the shared buffer, never a copy). Returns the
+    /// reply back when no blocked fetch consumed it — the caller then
+    /// offers it to the prefetch tracker (a home answers a parked batched
+    /// page with an individual `PageReply` carrying the batch's `req_id`).
+    pub(crate) fn deposit_page(
+        &mut self,
+        req_id: u64,
+        version: VectorClock,
+        bytes: Arc<[u8]>,
+    ) -> Option<(VectorClock, Arc<[u8]>)> {
         if let WaitSlot::Page {
             req_id: want,
             reply,
@@ -255,8 +330,10 @@ impl NodeState {
         {
             if *want == req_id && reply.is_none() {
                 *reply = Some((version, bytes));
+                return None;
             }
         }
+        Some((version, bytes))
     }
 }
 
@@ -302,28 +379,44 @@ pub(crate) fn end_interval(st: &mut NodeState) -> (Duration, Duration) {
     }
     let proto = t0.elapsed();
 
-    // FT: log the write notice and every diff (including homed pages').
-    // The log entry shares the diff object just sent in the batch — logging
-    // costs one Arc bump plus the timestamp, never a payload copy.
+    // FT: log the write notice and every diff (including homed pages') as
+    // one batch. The log entries share the diff objects just grouped into
+    // the outgoing batches — logging costs one Arc bump plus a timestamp
+    // per diff, never a payload copy.
     let t1 = Instant::now();
     if let Some(ft) = st.ft.as_mut() {
         let t = st.vt.clone();
-        let entries = diffs
-            .into_iter()
-            .map(|diff| DiffLogEntry {
-                diff,
-                t: t.clone(),
-                saved: false,
-            })
-            .collect();
-        ft.logs.log_interval(iv.seq, pages, entries);
+        ft.logs.log_interval(iv.seq, pages, &t, &diffs);
     }
     let logging = t1.elapsed();
 
+    // One coalesced DiffBatch per remote home: the release-side flush is
+    // one message per home regardless of how many pages the interval wrote.
     for (home, batch) in per_home {
         st.send(home, Payload::DiffBatch { diffs: batch });
     }
     (proto, logging)
+}
+
+/// Answer parked fetches that have become servable.
+fn send_ready_fetches(st: &mut NodeState, ready: Vec<hlrc::ReadyFetch>) {
+    for r in ready {
+        st.send(
+            r.from,
+            Payload::PageReply {
+                page: r.page,
+                req_id: r.req_id,
+                version: r.version,
+                bytes: r.bytes,
+            },
+        );
+    }
+}
+
+/// Drain every parked fetch the home store can now serve and answer it.
+pub(crate) fn serve_waiting_fetches(st: &mut NodeState) {
+    let ready = st.pt.home_store().drain_ready();
+    send_ready_fetches(st, ready);
 }
 
 /// Apply the pending homed-page diffs whose creators had seen at most
@@ -527,36 +620,17 @@ pub(crate) fn dispatch_lock_action(st: &mut NodeState, a: LockAction) {
     }
 }
 
-/// Serve queued remote fetches whose required version is now satisfied.
-pub(crate) fn serve_waiting_fetches(st: &mut NodeState) {
-    if st.waiting_fetches.is_empty() {
-        return;
-    }
-    let pending = std::mem::take(&mut st.waiting_fetches);
-    for (from, page, needed, req_id) in pending {
-        if st.pt.home_satisfies(page, &needed) {
-            let h = st.pt.home_meta(page);
-            let version = h.version.clone();
-            let bytes = h.copy.share();
-            st.send(
-                from,
-                Payload::PageReply {
-                    page,
-                    req_id,
-                    version,
-                    bytes,
-                },
-            );
-        } else {
-            st.waiting_fetches.push((from, page, needed, req_id));
-        }
-    }
-}
-
 /// Process a barrier arrival at the manager (local or remote).
 pub(crate) fn barrier_manager_arrive(st: &mut NodeState, arrival: Arrival) {
-    let mgr = st.bar_mgr.as_mut().expect("barrier arrival at non-manager");
-    match mgr.arrive(arrival) {
+    let outcome = {
+        let mut sync = st.sync.lock();
+        let mgr = sync
+            .bar_mgr
+            .as_mut()
+            .expect("barrier arrival at non-manager");
+        mgr.arrive(arrival)
+    };
+    match outcome {
         ArriveOutcome::Pending => {}
         ArriveOutcome::Complete(rel) => {
             if let Some(ft) = st.ft.as_mut() {
@@ -676,7 +750,75 @@ fn max_page(payload: &Payload) -> Option<PageId> {
         | Payload::RecPageReq { page, .. }
         | Payload::RecDiffReq { page } => Some(*page),
         Payload::DiffBatch { diffs } => diffs.iter().map(|d| d.page).max(),
+        Payload::PageBatchReq { pages, .. } => pages.iter().map(|(p, _)| *p).max(),
         _ => None,
+    }
+}
+
+/// Install a page delivered by a prefetch batch (either in the batched
+/// reply or as a straggler `PageReply` carrying the batch's `req_id`).
+/// Superseded and overtaken replies are dropped: the page stays `Invalid`
+/// and a later touch fetches fresh.
+fn install_prefetched(
+    st: &mut NodeState,
+    page: PageId,
+    req_id: u64,
+    version: VectorClock,
+    bytes: Arc<[u8]>,
+) {
+    match st.prefetch.get(&page) {
+        Some(e) if e.req_id == req_id => {}
+        // A reply from a superseded batch (or none in flight): drop it and
+        // keep the entry for the current batch's reply.
+        _ => return,
+    }
+    st.prefetch.remove(&page);
+    if st.pt.is_home(page) {
+        return;
+    }
+    let m = st.pt.remote_meta(page);
+    // A new invalidation may have overtaken the batch; install only when
+    // the reply still covers everything the page is known to need.
+    if m.state == PageState::Invalid && version.covers(&m.needed) {
+        st.pt.install_fetch(page, bytes, &version);
+        st.hists.fetch_copy.record(0);
+    }
+}
+
+/// Eagerly batch-fetch the remote pages just invalidated by applied write
+/// notices: one `PageBatchReq` per home covers every such page, turning N
+/// page-miss round trips into one. Skipped during recovery replay (replay
+/// fetches must stay individually deterministic).
+pub(crate) fn issue_prefetch(st: &mut NodeState, invalidated: &[PageId]) {
+    if st.replay.is_some() {
+        return;
+    }
+    let mut seen = HashSet::new();
+    let mut per_home: HashMap<ProcId, Vec<(PageId, VectorClock)>> = HashMap::new();
+    for &page in invalidated {
+        if !seen.insert(page) || st.pt.is_home(page) || st.prefetch.contains_key(&page) {
+            continue;
+        }
+        let m = st.pt.remote_meta(page);
+        if m.state != PageState::Invalid {
+            continue;
+        }
+        per_home
+            .entry(m.home)
+            .or_default()
+            .push((page, m.needed.clone()));
+    }
+    // Deterministic send order (piggyback state advances per send).
+    let mut per_home: Vec<_> = per_home.into_iter().collect();
+    per_home.sort_unstable_by_key(|(home, _)| *home);
+    for (home, pages) in per_home {
+        let req_id = st.req_id_next;
+        st.req_id_next += 1;
+        st.hists.fetch_batch_pages.record(pages.len() as u64);
+        for (p, _) in &pages {
+            st.prefetch.insert(*p, PrefetchEntry { req_id, home });
+        }
+        st.send(home, Payload::PageBatchReq { pages, req_id });
     }
 }
 
@@ -691,14 +833,15 @@ pub(crate) fn handle_msg(st: &mut NodeState, from: ProcId, payload: Payload) {
     match payload {
         Payload::LockAcq { lock, acq_seq, vt } => {
             debug_assert_eq!(lock % st.n, st.me, "lock request at wrong manager");
-            if let Some(a) = st.lock_mgr.on_request(
+            let action = st.sync.lock().lock_mgr.on_request(
                 lock,
                 AcqReq {
                     requester: from,
                     acq_seq,
                     vt,
                 },
-            ) {
+            );
+            if let Some(a) = action {
                 dispatch_lock_action(st, a);
             }
         }
@@ -729,9 +872,15 @@ pub(crate) fn handle_msg(st: &mut NodeState, from: ProcId, payload: Payload) {
             });
         }
         Payload::DiffBatch { diffs } => {
+            let home = st.pt.home_store();
+            let mut ready = Vec::new();
             for d in &diffs {
                 let t0 = Instant::now();
-                st.pt.home_apply_diff(d);
+                match home.apply_diff(d, || true) {
+                    ApplyOutcome::Applied(r) => ready.extend(r),
+                    ApplyOutcome::NotHome => panic!("diff for page {} not homed here", d.page),
+                    ApplyOutcome::Stale => unreachable!("big-lock apply never stale"),
+                }
                 st.hists.diff_apply.record(t0.elapsed().as_nanos() as u64);
                 if st.tracer.enabled() {
                     st.tracer.emit(EventKind::DiffApply {
@@ -740,7 +889,7 @@ pub(crate) fn handle_msg(st: &mut NodeState, from: ProcId, payload: Payload) {
                     });
                 }
             }
-            serve_waiting_fetches(st);
+            send_ready_fetches(st, ready);
         }
         Payload::BarrierArrive {
             episode,
@@ -765,13 +914,19 @@ pub(crate) fn handle_msg(st: &mut NodeState, from: ProcId, payload: Payload) {
             needed,
             req_id,
         } => {
-            if st.pt.is_home(page) && st.pt.home_satisfies(page, &needed) {
-                // Serving a page is an Arc bump: the home's next write
-                // copy-on-writes, leaving the served buffer untouched.
-                let h = st.pt.home_meta(page);
-                let version = h.version.clone();
-                let bytes = h.copy.share();
-                st.send(
+            // Serving a page is an Arc bump: the home's next write
+            // copy-on-writes, leaving the served buffer untouched.
+            let outcome = st.pt.home_store().serve_fetch(
+                WaitingFetch {
+                    from,
+                    page,
+                    needed,
+                    req_id,
+                },
+                || true,
+            );
+            match outcome {
+                FetchOutcome::Ready(version, bytes) => st.send(
                     from,
                     Payload::PageReply {
                         page,
@@ -779,22 +934,60 @@ pub(crate) fn handle_msg(st: &mut NodeState, from: ProcId, payload: Payload) {
                         version,
                         bytes,
                     },
+                ),
+                FetchOutcome::Parked => {}
+                FetchOutcome::NotHome => panic!("PageReq for page {page} not homed here"),
+                FetchOutcome::Stale => unreachable!("big-lock serve never stale"),
+            }
+        }
+        Payload::PageBatchReq { pages, req_id } => {
+            let home = st.pt.home_store();
+            let mut ready = Vec::new();
+            for (page, needed) in pages {
+                let outcome = home.serve_fetch(
+                    WaitingFetch {
+                        from,
+                        page,
+                        needed,
+                        req_id,
+                    },
+                    || true,
                 );
-            } else {
-                assert!(
-                    st.pt.is_home(page),
-                    "PageReq for page {page} not homed here"
+                match outcome {
+                    FetchOutcome::Ready(version, bytes) => ready.push((page, version, bytes)),
+                    // Parked pages are answered individually (same req_id)
+                    // when their diffs arrive.
+                    FetchOutcome::Parked => {}
+                    FetchOutcome::NotHome => {
+                        panic!("PageBatchReq for page {page} not homed here")
+                    }
+                    FetchOutcome::Stale => unreachable!("big-lock serve never stale"),
+                }
+            }
+            if !ready.is_empty() {
+                st.send(
+                    from,
+                    Payload::PageBatchReply {
+                        req_id,
+                        pages: ready,
+                    },
                 );
-                st.waiting_fetches.push((from, page, needed, req_id));
+            }
+        }
+        Payload::PageBatchReply { req_id, pages } => {
+            for (page, version, bytes) in pages {
+                install_prefetched(st, page, req_id, version, bytes);
             }
         }
         Payload::PageReply {
+            page,
             req_id,
             version,
             bytes,
-            ..
         } => {
-            st.deposit_page(req_id, version, bytes);
+            if let Some((version, bytes)) = st.deposit_page(req_id, version, bytes) {
+                install_prefetched(st, page, req_id, version, bytes);
+            }
         }
         Payload::RecLogReq => {
             let reply = build_rec_log_reply(st, from);
@@ -836,8 +1029,27 @@ pub(crate) fn drain_unalloc(st: &mut NodeState) {
 /// A crashed peer restarted: re-issue lost forwards and retransmit whatever
 /// request our application thread is blocked on against that peer.
 pub(crate) fn handle_node_up(st: &mut NodeState, node: ProcId) {
-    for a in st.lock_mgr.on_node_up(node) {
+    let actions = st.sync.lock().lock_mgr.on_node_up(node);
+    for a in actions {
         dispatch_lock_action(st, a);
+    }
+    // Re-issue in-flight prefetch batches the restarted home lost, grouped
+    // back into their original batches (the needed versions are re-read:
+    // they may have advanced, and the install gate checks coverage anyway).
+    let mut groups: HashMap<u64, Vec<(PageId, VectorClock)>> = HashMap::new();
+    for (&page, e) in &st.prefetch {
+        if e.home == node {
+            groups
+                .entry(e.req_id)
+                .or_default()
+                .push((page, st.pt.remote_meta(page).needed.clone()));
+        }
+    }
+    let mut groups: Vec<_> = groups.into_iter().collect();
+    groups.sort_unstable_by_key(|(req_id, _)| *req_id);
+    for (req_id, mut pages) in groups {
+        pages.sort_unstable_by_key(|(p, _)| p.0);
+        st.send(node, Payload::PageBatchReq { pages, req_id });
     }
     match &st.wait {
         WaitSlot::Page {
@@ -887,52 +1099,332 @@ pub(crate) fn handle_node_up(st: &mut NodeState, node: ProcId) {
     }
 }
 
-/// The service loop: one per node, owns message receipt.
-pub(crate) fn service_loop(shared: Arc<NodeShared>) {
-    let ep = Arc::clone(&shared.state.lock().ep);
-    loop {
-        {
-            let st = shared.state.lock();
-            if st.shutdown {
-                return;
+/// Big-lock handles the service loop's fast path keeps out of the big
+/// lock itself.
+struct FastCtx {
+    ep: Arc<Endpoint<Msg>>,
+    home: Arc<HomeStore>,
+    sync: Arc<Mutex<SyncState>>,
+    mode_flag: Arc<AtomicU8>,
+    tracer: NodeTracer,
+    me: ProcId,
+}
+
+/// What the fast path did with a message.
+enum FastOutcome {
+    /// Handled without the big lock. `notify` says local waiters may have
+    /// been unblocked (a diff application can satisfy a blocked access to
+    /// a homed page).
+    Handled { notify: bool },
+    /// Not fast-path eligible after all (unallocated page, crash fence, or
+    /// a payload that needs big-lock state): run the big-lock path.
+    Fallback(Box<Msg>),
+}
+
+/// Handle one bare, Normal-mode message without the big lock, if its whole
+/// effect lives in the sharded home store or the sync lock. The liveness
+/// closure re-checks the mode flag *under each shard lock*, so a crash or
+/// recovery transition (flag flip + quiesce) fences these operations out;
+/// any op the fence misses is version-gated idempotent, exactly as under
+/// the old big lock.
+fn try_fast_path(
+    shared: &NodeShared,
+    cx: &FastCtx,
+    hists: &mut LatencyHists,
+    from: ProcId,
+    msg: Msg,
+) -> FastOutcome {
+    let live = || cx.mode_flag.load(Ordering::SeqCst) == MODE_NORMAL;
+    match &msg.payload {
+        Payload::PageReq {
+            page,
+            needed,
+            req_id,
+        } => {
+            let (page, req_id) = (*page, *req_id);
+            let (outcome, waited) = cx.home.serve_fetch_timed(
+                WaitingFetch {
+                    from,
+                    page,
+                    needed: needed.clone(),
+                    req_id,
+                },
+                live,
+            );
+            hists.shard_lock_wait.record(waited.as_nanos() as u64);
+            match outcome {
+                FetchOutcome::Ready(version, bytes) => {
+                    cx.ep.send(
+                        from,
+                        Msg::bare(Payload::PageReply {
+                            page,
+                            req_id,
+                            version,
+                            bytes,
+                        }),
+                    );
+                    FastOutcome::Handled { notify: false }
+                }
+                FetchOutcome::Parked => FastOutcome::Handled { notify: false },
+                FetchOutcome::NotHome | FetchOutcome::Stale => FastOutcome::Fallback(Box::new(msg)),
             }
         }
-        let Some(ev) = ep.recv_timeout(Duration::from_millis(10)) else {
-            continue;
-        };
-        let mut st = shared.state.lock();
-        let t0 = Instant::now();
-        match ev {
-            Event::NodeUp { node } => match st.mode {
-                Mode::Normal => handle_node_up(&mut st, node),
-                // Single-fault model: no other node can restart while we are
-                // crashed or recovering.
-                Mode::Crashed | Mode::Recovering => {}
-            },
-            Event::Msg { from, msg } => {
-                if st.mode != Mode::Crashed {
-                    if let (Some(p), true) = (&msg.piggy, st.ft.is_some()) {
-                        st.ft.as_mut().unwrap().absorb_piggy(from, p);
+        Payload::DiffBatch { diffs } => {
+            let mut ready = Vec::new();
+            for d in diffs {
+                let t0 = Instant::now();
+                let (outcome, waited) = cx.home.apply_diff_timed(d, live);
+                hists.shard_lock_wait.record(waited.as_nanos() as u64);
+                match outcome {
+                    ApplyOutcome::Applied(r) => {
+                        hists.diff_apply.record(t0.elapsed().as_nanos() as u64);
+                        if cx.tracer.enabled() {
+                            cx.tracer.emit(EventKind::DiffApply {
+                                page: d.page.0,
+                                bytes: d.payload_bytes() as u32,
+                            });
+                        }
+                        ready.extend(r);
+                    }
+                    ApplyOutcome::NotHome | ApplyOutcome::Stale => {
+                        // Answer what this batch already unparked, then let
+                        // the big-lock path re-run the whole batch (diff
+                        // application is version-gated idempotent).
+                        for r in ready {
+                            cx.ep.send(
+                                r.from,
+                                Msg::bare(Payload::PageReply {
+                                    page: r.page,
+                                    req_id: r.req_id,
+                                    version: r.version,
+                                    bytes: r.bytes,
+                                }),
+                            );
+                        }
+                        return FastOutcome::Fallback(Box::new(msg));
                     }
                 }
-                match st.mode {
-                    Mode::Crashed => {}
-                    Mode::Recovering => match msg.payload {
-                        Payload::RecLogReply { .. }
-                        | Payload::RecPageReply { .. }
-                        | Payload::RecDiffReply { .. } => {
-                            st.rec_inbox.push((from, msg.payload));
-                        }
-                        other => st.backlog.push((from, other)),
+            }
+            for r in ready {
+                cx.ep.send(
+                    r.from,
+                    Msg::bare(Payload::PageReply {
+                        page: r.page,
+                        req_id: r.req_id,
+                        version: r.version,
+                        bytes: r.bytes,
+                    }),
+                );
+            }
+            FastOutcome::Handled { notify: true }
+        }
+        Payload::PageBatchReq { pages, req_id } => {
+            let req_id = *req_id;
+            if !pages.iter().all(|(p, _)| cx.home.contains(*p)) {
+                // Some page not allocated yet: defer via the big lock.
+                return FastOutcome::Fallback(Box::new(msg));
+            }
+            let mut ready = Vec::new();
+            for (page, needed) in pages {
+                let (outcome, waited) = cx.home.serve_fetch_timed(
+                    WaitingFetch {
+                        from,
+                        page: *page,
+                        needed: needed.clone(),
+                        req_id,
                     },
-                    Mode::Normal => handle_msg(&mut st, from, msg.payload),
+                    live,
+                );
+                hists.shard_lock_wait.record(waited.as_nanos() as u64);
+                match outcome {
+                    FetchOutcome::Ready(version, bytes) => ready.push((*page, version, bytes)),
+                    // Parked pages are answered individually (same req_id)
+                    // when their diffs arrive.
+                    FetchOutcome::Parked => {}
+                    // Crash fence mid-batch: re-run under the big lock
+                    // (double-parked pages produce duplicate replies the
+                    // requester drops by req_id).
+                    FetchOutcome::Stale => return FastOutcome::Fallback(Box::new(msg)),
+                    FetchOutcome::NotHome => unreachable!("containment checked above"),
+                }
+            }
+            if !ready.is_empty() {
+                cx.ep.send(
+                    from,
+                    Msg::bare(Payload::PageBatchReply {
+                        req_id,
+                        pages: ready,
+                    }),
+                );
+            }
+            FastOutcome::Handled { notify: false }
+        }
+        Payload::LockAcq { lock, acq_seq, vt } => {
+            // Manager routing touches only the sync lock. The decision is
+            // taken exactly once; if it says to grant from this very node,
+            // the grant needs big-lock state (tenure, FT logs) and is
+            // finished under it below — never by re-running the message.
+            let (lock, acq_seq) = (*lock, *acq_seq);
+            let action = {
+                let mut sync = cx.sync.lock();
+                if !live() {
+                    return FastOutcome::Fallback(Box::new(msg));
+                }
+                sync.lock_mgr.on_request(
+                    lock,
+                    AcqReq {
+                        requester: from,
+                        acq_seq,
+                        vt: vt.clone(),
+                    },
+                )
+            };
+            match action {
+                None => FastOutcome::Handled { notify: false },
+                Some(a) if a.grant_from != cx.me => {
+                    cx.ep.send(
+                        a.grant_from,
+                        Msg::bare(Payload::LockForward {
+                            lock: a.lock,
+                            requester: a.req.requester,
+                            acq_seq: a.req.acq_seq,
+                            gen: a.gen,
+                            pred_acq: a.pred_acq,
+                            vt: a.req.vt,
+                        }),
+                    );
+                    FastOutcome::Handled { notify: false }
+                }
+                Some(a) => {
+                    let mut st = shared.state.lock();
+                    // A crash slipped in between the sync-lock decision and
+                    // here: drop the action. Recovery resets the manager
+                    // state and the requester retransmits on NodeUp.
+                    if st.mode == Mode::Normal {
+                        handle_forward(
+                            &mut st,
+                            a.lock,
+                            a.req.requester,
+                            a.req.acq_seq,
+                            a.gen,
+                            a.pred_acq,
+                            a.req.vt,
+                        );
+                    }
+                    FastOutcome::Handled { notify: false }
                 }
             }
         }
-        st.protocol_time_svc += t0.elapsed();
-        drop(st);
-        shared.cv.notify_all();
+        _ => FastOutcome::Fallback(Box::new(msg)),
     }
+}
+
+/// The classic big-lock path: mode routing plus per-kind time accounting.
+fn slow_path(shared: &NodeShared, ev: Event<Msg>) {
+    let kind: &'static str = match &ev {
+        Event::NodeUp { .. } => "NodeUp",
+        Event::Wakeup => return,
+        Event::Msg { msg, .. } => msg.payload.kind(),
+    };
+    let mut st = shared.state.lock();
+    let t0 = Instant::now();
+    match ev {
+        Event::Wakeup => unreachable!(),
+        Event::NodeUp { node } => match st.mode {
+            Mode::Normal => handle_node_up(&mut st, node),
+            // Single-fault model: no other node can restart while we are
+            // crashed or recovering.
+            Mode::Crashed | Mode::Recovering => {}
+        },
+        Event::Msg { from, msg } => {
+            if st.mode != Mode::Crashed {
+                if let (Some(p), true) = (&msg.piggy, st.ft.is_some()) {
+                    st.ft.as_mut().unwrap().absorb_piggy(from, p);
+                }
+            }
+            match st.mode {
+                Mode::Crashed => {}
+                Mode::Recovering => match msg.payload {
+                    Payload::RecLogReply { .. }
+                    | Payload::RecPageReply { .. }
+                    | Payload::RecDiffReply { .. } => {
+                        st.rec_inbox.push((from, msg.payload));
+                    }
+                    other => st.backlog.push((from, other)),
+                },
+                Mode::Normal => handle_msg(&mut st, from, msg.payload),
+            }
+        }
+    }
+    let dt = t0.elapsed();
+    st.protocol_time_svc += dt;
+    *st.svc_time_by_kind.entry(kind).or_default() += dt;
+    drop(st);
+    shared.cv.notify_all();
+}
+
+/// The service loop: one per node, owns message receipt.
+///
+/// Blocks on the endpoint — no polling; [`Endpoint::wake`] posts an
+/// [`Event::Wakeup`] when the shutdown flag needs re-checking. Bare
+/// messages in Normal mode first try the no-big-lock fast path.
+pub(crate) fn service_loop(shared: Arc<NodeShared>) {
+    let cx = {
+        let st = shared.state.lock();
+        FastCtx {
+            ep: Arc::clone(&st.ep),
+            home: st.pt.home_store(),
+            sync: Arc::clone(&st.sync),
+            mode_flag: Arc::clone(&st.mode_flag),
+            tracer: st.tracer.clone(),
+            me: st.me,
+        }
+    };
+    // Fast-path accounting lives in loop locals (the point is not to touch
+    // the big lock) and is folded into the node state at exit — teardown
+    // joins service threads before collecting reports.
+    let mut fast_time: HashMap<&'static str, Duration> = HashMap::new();
+    let mut fast_hists = LatencyHists::default();
+    // Loop until the fabric disconnects (recv returns None) or shutdown.
+    while let Some(ev) = cx.ep.recv() {
+        match ev {
+            Event::Wakeup => {
+                if shared.state.lock().shutdown {
+                    break;
+                }
+            }
+            Event::Msg { from, msg }
+                if msg.piggy.is_none() && cx.mode_flag.load(Ordering::SeqCst) == MODE_NORMAL =>
+            {
+                let t0 = Instant::now();
+                let kind = msg.payload.kind();
+                match try_fast_path(&shared, &cx, &mut fast_hists, from, msg) {
+                    FastOutcome::Handled { notify } => {
+                        *fast_time.entry(kind).or_default() += t0.elapsed();
+                        if notify {
+                            // Lock-then-drop pairs with the app thread's
+                            // check-predicate-then-wait: without it a waiter
+                            // between its check and `cv.wait` would miss
+                            // this notification.
+                            drop(shared.state.lock());
+                            shared.cv.notify_all();
+                        }
+                    }
+                    FastOutcome::Fallback(msg) => {
+                        slow_path(&shared, Event::Msg { from, msg: *msg })
+                    }
+                }
+            }
+            ev => slow_path(&shared, ev),
+        }
+    }
+    // Fold fast-path accounting into the shared state for reporting.
+    let mut st = shared.state.lock();
+    for (k, d) in fast_time {
+        st.protocol_time_svc += d;
+        *st.svc_time_by_kind.entry(k).or_default() += d;
+    }
+    st.hists.merge(&fast_hists);
 }
 
 #[cfg(test)]
@@ -953,11 +1445,14 @@ mod tests {
             n,
             page_size: 256,
             mode: Mode::Normal,
+            mode_flag: Arc::new(AtomicU8::new(Mode::Normal.flag())),
             pt: PageTable::new(me, n, 256),
             vt: VectorClock::zero(n),
             wn_table: WnTable::new(),
-            lock_mgr: LockManagerTable::new(me),
-            bar_mgr: (me == 0).then(|| BarrierManager::new(n)),
+            sync: Arc::new(Mutex::new(SyncState {
+                lock_mgr: LockManagerTable::new(me),
+                bar_mgr: (me == 0).then(|| BarrierManager::new(n)),
+            })),
             held: Default::default(),
             tenure: Default::default(),
             last_release_vt: Default::default(),
@@ -967,7 +1462,7 @@ mod tests {
             rec_inbox: Vec::new(),
             backlog: Vec::new(),
             pending_unalloc: Vec::new(),
-            waiting_fetches: Vec::new(),
+            prefetch: HashMap::new(),
             acq_seq_next: 0,
             bar_episode: 0,
             req_id_next: 0,
@@ -977,6 +1472,7 @@ mod tests {
             ft: ft.then(|| FtState::new(me, n, FtConfig::default(), store)),
             replay: None,
             protocol_time_svc: Duration::ZERO,
+            svc_time_by_kind: HashMap::new(),
             shutdown: false,
             ops: 0,
             crash_queue: Vec::new(),
@@ -1123,7 +1619,117 @@ mod tests {
         }
         drain_unalloc(&mut st);
         assert!(st.pending_unalloc.is_empty());
-        // The fetch is now answered (page 5 exists, zero version satisfies).
-        assert!(st.waiting_fetches.is_empty());
+        // The fetch was answered immediately (page 5 exists, zero version
+        // satisfies): nothing stays parked in the home store.
+        assert!(st.pt.home_store().drain_ready().is_empty());
+    }
+
+    #[test]
+    fn batch_req_serves_ready_pages_and_parks_the_rest() {
+        let (mut st, eps) = test_state(0, 2, false);
+        for _ in 0..3 {
+            st.pt.add_page(0);
+        }
+        let gated = {
+            let mut v = VectorClock::zero(2);
+            v.set(1, 1);
+            v
+        };
+        handle_msg(
+            &mut st,
+            1,
+            Payload::PageBatchReq {
+                pages: vec![
+                    (PageId(0), VectorClock::zero(2)),
+                    (PageId(1), gated),
+                    (PageId(2), VectorClock::zero(2)),
+                ],
+                req_id: 9,
+            },
+        );
+        // Pages 0 and 2 came back in one batched reply; page 1 is parked.
+        match eps[0].try_recv() {
+            Some(Event::Msg { msg, .. }) => match msg.payload {
+                Payload::PageBatchReply { req_id, pages } => {
+                    assert_eq!(req_id, 9);
+                    let ids: Vec<_> = pages.iter().map(|(p, _, _)| *p).collect();
+                    assert_eq!(ids, vec![PageId(0), PageId(2)]);
+                }
+                other => panic!("expected PageBatchReply, got {}", other.kind()),
+            },
+            other => panic!("expected a message, got {other:?}"),
+        }
+        assert!(st.pt.home_store().drain_ready().is_empty());
+    }
+
+    #[test]
+    fn prefetch_reply_installs_only_matching_and_still_needed_pages() {
+        let (mut st, _eps) = test_state(1, 2, false);
+        for _ in 0..2 {
+            st.pt.add_page(0); // homed at node 0, remote here
+        }
+        st.prefetch
+            .insert(PageId(0), PrefetchEntry { req_id: 5, home: 0 });
+        st.prefetch
+            .insert(PageId(1), PrefetchEntry { req_id: 5, home: 0 });
+        // Stale req_id: dropped, entry kept.
+        install_prefetched(
+            &mut st,
+            PageId(0),
+            4,
+            VectorClock::zero(2),
+            vec![0u8; 256].into(),
+        );
+        assert!(st.prefetch.contains_key(&PageId(0)));
+        // Matching req_id: installed, entry consumed.
+        install_prefetched(
+            &mut st,
+            PageId(0),
+            5,
+            VectorClock::zero(2),
+            vec![7u8; 256].into(),
+        );
+        assert!(!st.prefetch.contains_key(&PageId(0)));
+        assert_eq!(st.pt.ensure_access(PageId(0)), hlrc::AccessOutcome::Ready);
+        // Overtaken by a newer invalidation: entry consumed, page stays
+        // invalid (a later touch fetches fresh).
+        st.pt.invalidate(PageId(1), 0, 3);
+        install_prefetched(
+            &mut st,
+            PageId(1),
+            5,
+            VectorClock::zero(2),
+            vec![7u8; 256].into(),
+        );
+        assert!(!st.prefetch.contains_key(&PageId(1)));
+        assert!(matches!(
+            st.pt.ensure_access(PageId(1)),
+            hlrc::AccessOutcome::NeedFetch { .. }
+        ));
+    }
+
+    #[test]
+    fn prefetch_issue_groups_pages_per_home_and_skips_tracked_ones() {
+        let (mut st, _eps) = test_state(2, 3, false);
+        st.pt.add_page(0); // page 0 at home 0
+        st.pt.add_page(1); // page 1 at home 1
+        st.pt.add_page(0); // page 2 at home 0
+        st.pt.add_page(2); // page 3 homed here
+        for p in [0u32, 1, 2] {
+            st.pt.invalidate(PageId(p), 0, 1);
+        }
+        st.prefetch
+            .insert(PageId(2), PrefetchEntry { req_id: 0, home: 0 });
+        issue_prefetch(
+            &mut st,
+            &[PageId(0), PageId(1), PageId(2), PageId(3), PageId(0)],
+        );
+        // Page 2 already in flight, page 3 homed here, page 0 deduped:
+        // one batch to home 0 (page 0) and one to home 1 (page 1).
+        assert_eq!(st.prefetch.len(), 3);
+        assert_eq!(st.prefetch[&PageId(0)].home, 0);
+        assert_eq!(st.prefetch[&PageId(1)].home, 1);
+        assert_eq!(st.prefetch[&PageId(2)].req_id, 0, "in-flight entry kept");
+        assert_eq!(st.hists.fetch_batch_pages.count(), 2);
     }
 }

@@ -21,7 +21,7 @@ use crate::ft::recovery::{self, linear_key, ReplayPage};
 use crate::msg::Payload;
 use crate::runtime::node::{
     apply_pending_home, barrier_manager_arrive, dispatch_lock_action, end_interval, grant_now,
-    CrashSignal, GrantData, Mode, NodeShared, NodeState, ReleaseData, WaitSlot,
+    issue_prefetch, CrashSignal, GrantData, Mode, NodeShared, NodeState, ReleaseData, WaitSlot,
 };
 use crate::shareable::Shareable;
 use crate::stats::Breakdown;
@@ -320,7 +320,7 @@ impl Process {
                     if write.is_some() {
                         st.pt.write(page, off, &buf[done..done + chunk]);
                     } else {
-                        buf[done..done + chunk].copy_from_slice(st.pt.read(page, off, chunk));
+                        st.pt.read_into(page, off, &mut buf[done..done + chunk]);
                     }
                     done += chunk;
                 }
@@ -370,6 +370,35 @@ impl Process {
                             t0,
                         );
                         return;
+                    }
+                    // A prefetch batch already covers this page: wait for
+                    // that batch instead of issuing a duplicate fetch. The
+                    // entry is removed when its reply is processed whether
+                    // or not the install succeeded, so a miss falls through
+                    // to the ordinary single-page fetch below.
+                    if st.prefetch.contains_key(&page) {
+                        wait_until(&shared, &mut st, |st| {
+                            (!st.prefetch.contains_key(&page)
+                                || matches!(st.pt.ensure_access(page), AccessOutcome::Ready))
+                            .then_some(())
+                        });
+                        if matches!(st.pt.ensure_access(page), AccessOutcome::Ready) {
+                            st.hists.prefetch_hit.record(t0.elapsed().as_nanos() as u64);
+                            self.breakdown.page_wait += t0.elapsed();
+                            st.hists.page_fetch.record(t0.elapsed().as_nanos() as u64);
+                            st.tracer.emit_span(
+                                EventKind::PageReply {
+                                    page: page.0,
+                                    from: home,
+                                },
+                                t0,
+                            );
+                            return;
+                        }
+                        st.hists
+                            .prefetch_miss
+                            .record(t0.elapsed().as_nanos() as u64);
+                        continue;
                     }
                     let req_id = st.req_id_next;
                     st.req_id_next += 1;
@@ -566,14 +595,15 @@ impl Process {
             grant: None,
         };
         if manager == self.me {
-            if let Some(a) = st.lock_mgr.on_request(
+            let action = st.sync.lock().lock_mgr.on_request(
                 lock,
                 AcqReq {
                     requester: self.me,
                     acq_seq,
                     vt: req_vt,
                 },
-            ) {
+            );
+            if let Some(a) = action {
                 dispatch_lock_action(&mut st, a);
             }
         } else {
@@ -608,6 +638,7 @@ impl Process {
         self.breakdown.logging += l;
         let pre = st.vt.clone();
         st.vt.join(&g.vt);
+        let mut invalidated = Vec::new();
         for wn in &g.wns {
             if pre.covers_interval(wn.interval) {
                 continue;
@@ -615,8 +646,10 @@ impl Process {
             st.wn_table.insert(wn.clone());
             for &pg in &wn.pages {
                 st.pt.invalidate(pg, wn.interval.proc, wn.interval.seq);
+                invalidated.push(pg);
             }
         }
+        issue_prefetch(st, &invalidated);
         let t_after = st.vt.clone();
         if let Some(ft) = st.ft.as_mut() {
             ft.logs.log_acq(
@@ -692,9 +725,11 @@ impl Process {
                     // and stomping it would let our post-recovery acquire
                     // self-grant without the peers' write notices.
                     let me = self.me;
-                    if st.lock_mgr.tail_of(lock).is_none_or(|t| t == me) {
-                        st.lock_mgr.force_tail(lock, me, acq_seq);
+                    let mut sync = st.sync.lock();
+                    if sync.lock_mgr.tail_of(lock).is_none_or(|t| t == me) {
+                        sync.lock_mgr.force_tail(lock, me, acq_seq);
                     }
+                    drop(sync);
                 }
                 apply_pending_home(st);
                 true
@@ -828,6 +863,7 @@ impl Process {
 
         let pre = st.vt.clone();
         st.vt.join(&rel.vt);
+        let mut invalidated = Vec::new();
         for wn in &rel.wns {
             if pre.covers_interval(wn.interval) {
                 continue;
@@ -835,8 +871,10 @@ impl Process {
             st.wn_table.insert(wn.clone());
             for &pg in &wn.pages {
                 st.pt.invalidate(pg, wn.interval.proc, wn.interval.seq);
+                invalidated.push(pg);
             }
         }
+        issue_prefetch(&mut st, &invalidated);
         let result_vt = st.vt.clone();
         if let Some(ft) = st.ft.as_mut() {
             ft.logs.log_bar(BarEntry {

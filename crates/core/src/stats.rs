@@ -101,6 +101,11 @@ pub struct NodeReport {
     pub hists: LatencyHists,
     /// Twin/copy buffer pool statistics (hits = allocation-free reuses).
     pub pool: PoolStats,
+    /// Service-thread protocol time attributed per message kind (sorted by
+    /// kind name). The sum equals `breakdown.protocol`'s service share.
+    pub svc_time_by_kind: Vec<(&'static str, Duration)>,
+    /// Messages sent by this node per payload kind (sorted by kind name).
+    pub msg_kinds: Vec<(&'static str, u64)>,
 }
 
 /// The result of a cluster run.
@@ -171,6 +176,28 @@ impl<R> RunReport<R> {
             acc.merge(&n.pool);
         }
         acc
+    }
+
+    /// All nodes' per-kind service time folded together (sorted by kind).
+    pub fn total_svc_time_by_kind(&self) -> Vec<(&'static str, Duration)> {
+        let mut acc: std::collections::BTreeMap<&'static str, Duration> = Default::default();
+        for n in &self.nodes {
+            for &(k, d) in &n.svc_time_by_kind {
+                *acc.entry(k).or_default() += d;
+            }
+        }
+        acc.into_iter().collect()
+    }
+
+    /// All nodes' per-kind sent-message counts folded together.
+    pub fn total_msg_kinds(&self) -> Vec<(&'static str, u64)> {
+        let mut acc: std::collections::BTreeMap<&'static str, u64> = Default::default();
+        for n in &self.nodes {
+            for &(k, c) in &n.msg_kinds {
+                *acc.entry(k).or_default() += c;
+            }
+        }
+        acc.into_iter().collect()
     }
 }
 

@@ -61,6 +61,62 @@ pub fn get_diff(r: &mut ByteReader) -> Result<Diff, CodecError> {
     Ok(Diff::from_runs(page, Interval { proc: proc_, seq }, runs))
 }
 
+/// Encode the page list of a batched fetch request: `(page, needed)` pairs.
+///
+/// Layout: count (8), then per page id (4) + length-prefixed needed clock.
+/// The accounting model (`Payload::wire_size`) charges clocks at 4 bytes per
+/// entry without the length prefix — the cluster size is implied on a real
+/// wire — matching the convention used by `PageReq`/`PageReply`.
+pub fn put_page_needs(w: &mut ByteWriter, pages: &[(PageId, VectorClock)]) {
+    w.put_u64(pages.len() as u64);
+    for (p, needed) in pages {
+        w.put_u32(p.0);
+        put_vt(w, needed);
+    }
+}
+
+/// Decode the page list of a batched fetch request.
+pub fn get_page_needs(r: &mut ByteReader) -> Result<Vec<(PageId, VectorClock)>, CodecError> {
+    let n = r.get_u64()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let p = PageId(r.get_u32()?);
+        out.push((p, get_vt(r)?));
+    }
+    Ok(out)
+}
+
+/// Encode the page list of a batched fetch reply: `(page, version, bytes)`.
+///
+/// Layout: count (8), then per page id (4) + byte length (4) +
+/// length-prefixed version clock + raw contents.
+pub fn put_page_copies(w: &mut ByteWriter, pages: &[(PageId, VectorClock, std::sync::Arc<[u8]>)]) {
+    w.put_u64(pages.len() as u64);
+    for (p, version, bytes) in pages {
+        w.put_u32(p.0);
+        w.put_u32(bytes.len() as u32);
+        put_vt(w, version);
+        w.put_raw(bytes);
+    }
+}
+
+/// Decode the page list of a batched fetch reply.
+#[allow(clippy::type_complexity)]
+pub fn get_page_copies(
+    r: &mut ByteReader,
+) -> Result<Vec<(PageId, VectorClock, std::sync::Arc<[u8]>)>, CodecError> {
+    let n = r.get_u64()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let p = PageId(r.get_u32()?);
+        let len = r.get_u32()? as usize;
+        let version = get_vt(r)?;
+        let bytes: std::sync::Arc<[u8]> = r.get_raw(len)?.into();
+        out.push((p, version, bytes));
+    }
+    Ok(out)
+}
+
 /// Encode a write notice.
 pub fn put_wn(w: &mut ByteWriter, wn: &WriteNotice) {
     w.put_u32(wn.interval.proc as u32);
@@ -121,6 +177,46 @@ mod tests {
         let mut w1 = ByteWriter::new();
         put_diff(&mut w1, &d1);
         assert_eq!(w1.len(), d1.wire_size());
+    }
+
+    #[test]
+    fn batch_lists_roundtrip_and_layout_is_pinned() {
+        let needs = vec![
+            (PageId(3), VectorClock::from_vec(vec![1, 0, 2])),
+            (PageId(9), VectorClock::from_vec(vec![0, 5, 0])),
+        ];
+        let copies: Vec<(PageId, VectorClock, std::sync::Arc<[u8]>)> = vec![
+            (
+                PageId(3),
+                VectorClock::from_vec(vec![1, 0, 2]),
+                vec![7u8; 64].into(),
+            ),
+            (
+                PageId(9),
+                VectorClock::from_vec(vec![0, 5, 0]),
+                vec![8u8; 32].into(),
+            ),
+        ];
+        let mut w = ByteWriter::new();
+        put_page_needs(&mut w, &needs);
+        // Pin: count (8) + per page id (4) + prefixed clock (8 + wire_size).
+        let needs_len: usize = 8 + needs
+            .iter()
+            .map(|(_, v)| 4 + 8 + v.wire_size())
+            .sum::<usize>();
+        assert_eq!(w.len(), needs_len);
+        put_page_copies(&mut w, &copies);
+        let copies_len: usize = 8 + copies
+            .iter()
+            .map(|(_, v, b)| 8 + 8 + v.wire_size() + b.len())
+            .sum::<usize>();
+        assert_eq!(w.len(), needs_len + copies_len);
+
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(get_page_needs(&mut r).unwrap(), needs);
+        assert_eq!(get_page_copies(&mut r).unwrap(), copies);
+        assert!(r.is_exhausted());
     }
 
     #[test]

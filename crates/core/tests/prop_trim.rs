@@ -8,8 +8,10 @@
 //!   - our grants to `j` with `t_after[j] > T^j_ckp[j]` (Rule 2),
 //!   - our diffs beyond the home's retained starting copy (Rule 3).
 
+use std::sync::Arc;
+
 use dsm_page::{Diff, Interval, Page, PageId, VectorClock};
-use ftdsm::ft::logs::{DiffLogEntry, RelEntry, VolatileLogs};
+use ftdsm::ft::logs::{RelEntry, VolatileLogs};
 use proptest::prelude::*;
 
 const N: usize = 4;
@@ -19,17 +21,11 @@ fn vt(raw: &[u32]) -> VectorClock {
     VectorClock::from_vec(raw.to_vec())
 }
 
-fn diff_entry(seq: u32, page: u32, t: Vec<u32>) -> DiffLogEntry {
+fn diff(seq: u32, page: u32) -> Arc<Diff> {
     let twin = Page::zeroed(64);
     let mut cur = twin.clone();
     cur.write(0, &[seq as u8; 8]);
-    DiffLogEntry {
-        diff: Diff::create(PageId(page), Interval { proc: ME, seq }, &twin, &cur)
-            .unwrap()
-            .into(),
-        t: VectorClock::from_vec(t),
-        saved: false,
-    }
+    Arc::new(Diff::create(PageId(page), Interval { proc: ME, seq }, &twin, &cur).unwrap())
 }
 
 proptest! {
@@ -41,7 +37,7 @@ proptest! {
     ) {
         let mut logs = VolatileLogs::new(ME, N);
         for seq in 1..=n_intervals {
-            logs.log_interval(seq, vec![PageId(seq)], vec![]);
+            logs.log_interval(seq, vec![PageId(seq)], &vt(&[0; N]), &[]);
         }
         let bound = *peer_ckps.iter().min().unwrap();
         logs.trim_rule1(bound);
@@ -110,7 +106,7 @@ proptest! {
             let seq = *seqs.entry(*page).and_modify(|s| *s += 1).or_insert(1);
             let mut t = vec![0u32; N];
             t[ME] = seq;
-            logs.log_interval(seq, vec![PageId(*page)], vec![diff_entry(seq, *page, t)]);
+            logs.log_interval(seq, vec![PageId(*page)], &vt(&t), &[diff(seq, *page)]);
         }
         // Only pages 0 and 1 have known starting copies.
         let mut known = std::collections::HashMap::new();
@@ -146,7 +142,7 @@ proptest! {
                     seq += 1;
                     let mut t = vec![0u32; N];
                     t[ME] = seq;
-                    logs.log_interval(seq, vec![PageId(arg % 8)], vec![diff_entry(seq, arg % 8, t)]);
+                    logs.log_interval(seq, vec![PageId(arg % 8)], &vt(&t), &[diff(seq, arg % 8)]);
                 }
                 1 => logs.trim_rule1(arg),
                 _ => {

@@ -54,6 +54,9 @@ pub enum Event<M> {
         /// The restarted node.
         node: NodeId,
     },
+    /// Self-posted nudge (see [`Endpoint::wake`]): a blocking receiver
+    /// should re-check its shutdown/state flags. Carries no payload.
+    Wakeup,
 }
 
 struct FabricShared<M> {
@@ -203,7 +206,7 @@ impl<M: Send + WireSized> Endpoint<M> {
             traffic.record_drop();
             return false;
         }
-        traffic.record_send(msg.base_wire_size(), msg.ft_wire_size());
+        traffic.record_send(msg.base_wire_size(), msg.ft_wire_size(), msg.kind_name());
         if self.tracer.enabled() {
             self.tracer.emit(EventKind::MsgSend {
                 kind: msg.kind_name(),
@@ -216,6 +219,14 @@ impl<M: Send + WireSized> Endpoint<M> {
         self.shared.senders[to]
             .send(Event::Msg { from: self.id, msg })
             .is_ok()
+    }
+
+    /// Post an [`Event::Wakeup`] to *this* endpoint's own queue, nudging a
+    /// thread blocked in [`Endpoint::recv`] to re-check its state. Not
+    /// routed through the fabric: wakeups are local control flow, so they
+    /// bypass crash status and traffic accounting.
+    pub fn wake(&self) {
+        let _ = self.shared.senders[self.id].send(Event::Wakeup);
     }
 
     /// Blocking receive.
@@ -345,6 +356,22 @@ mod tests {
         fabric.crash(1);
         assert_eq!(eps[1].drain(), 2);
         assert!(eps[1].try_recv().is_none());
+    }
+
+    #[test]
+    fn wake_unblocks_own_receiver_without_traffic() {
+        let (fabric, eps) = Fabric::<TestMsg>::new(2);
+        eps[1].wake();
+        assert_eq!(eps[1].recv(), Some(Event::Wakeup));
+        // Wakeups are local control flow: no send is charged, and they are
+        // not delivered to peers.
+        assert_eq!(fabric.stats().total().msgs_sent, 0);
+        assert!(eps[0].try_recv().is_none());
+        // A wakeup works even while the node is marked crashed (the runtime
+        // wakes its own service thread during teardown and recovery).
+        fabric.crash(1);
+        eps[1].wake();
+        assert_eq!(eps[1].recv(), Some(Event::Wakeup));
     }
 
     #[test]

@@ -7,6 +7,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use parking_lot::Mutex;
+
 /// Per-node traffic counters. All counters are monotonically increasing.
 #[derive(Debug, Default)]
 pub struct NodeTraffic {
@@ -18,18 +20,33 @@ pub struct NodeTraffic {
     pub ft_bytes_sent: AtomicU64,
     /// Messages dropped because the destination had crashed.
     pub msgs_dropped: AtomicU64,
+    /// Sent-message counts by message kind. A handful of kinds exist, so a
+    /// linear list under a mutex beats a hash map here.
+    kinds: Mutex<Vec<(&'static str, u64)>>,
 }
 
 impl NodeTraffic {
-    pub(crate) fn record_send(&self, base: usize, ft: usize) {
+    pub(crate) fn record_send(&self, base: usize, ft: usize, kind: &'static str) {
         self.msgs_sent.fetch_add(1, Ordering::Relaxed);
         self.base_bytes_sent
             .fetch_add(base as u64, Ordering::Relaxed);
         self.ft_bytes_sent.fetch_add(ft as u64, Ordering::Relaxed);
+        let mut kinds = self.kinds.lock();
+        match kinds.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, n)) => *n += 1,
+            None => kinds.push((kind, 1)),
+        }
     }
 
     pub(crate) fn record_drop(&self) {
         self.msgs_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sent-message counts per message kind, sorted by kind name.
+    pub fn kind_counts(&self) -> Vec<(&'static str, u64)> {
+        let mut v = self.kinds.lock().clone();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
     }
 
     /// Snapshot of the counters.
@@ -105,6 +122,21 @@ impl FabricStats {
             .map(|t| t.snapshot())
             .fold(TrafficSnapshot::default(), |a, b| a + b)
     }
+
+    /// Cluster-wide sent-message counts per message kind, sorted by kind.
+    pub fn total_kinds(&self) -> Vec<(&'static str, u64)> {
+        let mut merged: Vec<(&'static str, u64)> = Vec::new();
+        for t in &self.per_node {
+            for (kind, n) in t.kind_counts() {
+                match merged.iter_mut().find(|(k, _)| *k == kind) {
+                    Some((_, m)) => *m += n,
+                    None => merged.push((kind, n)),
+                }
+            }
+        }
+        merged.sort_unstable_by_key(|&(k, _)| k);
+        merged
+    }
 }
 
 #[cfg(test)]
@@ -114,14 +146,27 @@ mod tests {
     #[test]
     fn totals_aggregate_across_nodes() {
         let s = FabricStats::new(3);
-        s.node(0).record_send(100, 4);
-        s.node(2).record_send(50, 0);
+        s.node(0).record_send(100, 4, "a");
+        s.node(2).record_send(50, 0, "b");
         s.node(2).record_drop();
         let t = s.total();
         assert_eq!(t.msgs_sent, 2);
         assert_eq!(t.base_bytes_sent, 150);
         assert_eq!(t.ft_bytes_sent, 4);
         assert_eq!(t.msgs_dropped, 1);
+    }
+
+    #[test]
+    fn kind_counts_aggregate_and_sort() {
+        let s = FabricStats::new(2);
+        s.node(0).record_send(10, 0, "PageReq");
+        s.node(0).record_send(10, 0, "DiffBatch");
+        s.node(1).record_send(10, 0, "PageReq");
+        assert_eq!(
+            s.node(0).kind_counts(),
+            vec![("DiffBatch", 1), ("PageReq", 1)]
+        );
+        assert_eq!(s.total_kinds(), vec![("DiffBatch", 1), ("PageReq", 2)]);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Concurrency stress tests for the fabric.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 
@@ -49,7 +50,7 @@ fn concurrent_all_to_all_delivery_is_complete_and_fifo() {
                         next[from] += 1;
                         got += 1;
                     }
-                    Some(Event::NodeUp { .. }) => {}
+                    Some(Event::NodeUp { .. }) | Some(Event::Wakeup) => {}
                     None => panic!("fabric closed early"),
                 }
             }
@@ -90,4 +91,57 @@ fn crash_during_traffic_never_wedges_senders() {
     assert!(endpoints[0].send(1, M(0, 1)));
     let stats = fabric.stats().node(0).snapshot();
     assert!(stats.msgs_dropped > 0 || stats.msgs_sent == 10_001);
+}
+
+/// The wakeup-driven service-loop shape under churn: a blocking receiver is
+/// nudged with [`Endpoint::wake`] through repeated crash/restart cycles and
+/// interleaved traffic, and must neither wedge nor miss its shutdown signal.
+#[test]
+fn wakeups_race_with_crash_restart_and_never_wedge() {
+    const ROUNDS: u64 = 300;
+    let (fabric, endpoints) = Fabric::<M>::new(2);
+    let endpoints: Vec<Arc<_>> = endpoints.into_iter().map(Arc::new).collect();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let svc = {
+        let ep = Arc::clone(&endpoints[1]);
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let (mut msgs, mut wakeups) = (0u64, 0u64);
+            loop {
+                match ep.recv() {
+                    Some(Event::Wakeup) => {
+                        wakeups += 1;
+                        if done.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                    Some(Event::Msg { from, .. }) => {
+                        assert_eq!(from, 0);
+                        msgs += 1;
+                    }
+                    Some(Event::NodeUp { .. }) => {}
+                    None => break,
+                }
+            }
+            (msgs, wakeups)
+        })
+    };
+
+    for k in 0..ROUNDS {
+        assert!(endpoints[0].send(1, M(0, k)));
+        fabric.crash(1);
+        // A wakeup is local control flow: it reaches the crashed node's own
+        // queue (the runtime wakes its service thread during recovery).
+        endpoints[1].wake();
+        // Sends to the crashed node are dropped, never delivered late.
+        assert!(!endpoints[0].send(1, M(0, k)));
+        fabric.restart(1);
+    }
+    done.store(true, Ordering::SeqCst);
+    endpoints[1].wake();
+    let (msgs, wakeups) = svc.join().unwrap();
+    assert!(wakeups >= 1, "shutdown wakeup was lost");
+    assert!(msgs <= ROUNDS, "a dropped message was delivered");
+    assert_eq!(fabric.stats().node(0).snapshot().msgs_dropped, ROUNDS);
 }

@@ -148,11 +148,20 @@ pub struct LatencyHists {
     pub rec_log_collect: Histogram,
     /// Recovery: deterministic replay.
     pub rec_replay: Histogram,
+    /// Pages per batched prefetch request (a counter, in pages).
+    pub fetch_batch_pages: Histogram,
+    /// Waiting for a home-store shard lock on the service fast path.
+    pub shard_lock_wait: Histogram,
+    /// First touch satisfied by an in-flight prefetch (wait until installed).
+    pub prefetch_hit: Histogram,
+    /// First touch whose prefetch was dropped or stale (wait until the miss
+    /// was detected; the fault then falls back to its own `PageReq`).
+    pub prefetch_miss: Histogram,
 }
 
 impl LatencyHists {
     /// (label, histogram) pairs in print order.
-    pub fn named(&self) -> [(&'static str, &Histogram); 10] {
+    pub fn named(&self) -> [(&'static str, &Histogram); 14] {
         [
             ("page_fetch", &self.page_fetch),
             ("lock_wait", &self.lock_wait),
@@ -164,6 +173,10 @@ impl LatencyHists {
             ("rec_restore", &self.rec_restore),
             ("rec_log_collect", &self.rec_log_collect),
             ("rec_replay", &self.rec_replay),
+            ("fetch_batch_pages", &self.fetch_batch_pages),
+            ("shard_lock_wait", &self.shard_lock_wait),
+            ("prefetch_hit", &self.prefetch_hit),
+            ("prefetch_miss", &self.prefetch_miss),
         ]
     }
 
@@ -179,6 +192,10 @@ impl LatencyHists {
         self.rec_restore.merge(&other.rec_restore);
         self.rec_log_collect.merge(&other.rec_log_collect);
         self.rec_replay.merge(&other.rec_replay);
+        self.fetch_batch_pages.merge(&other.fetch_batch_pages);
+        self.shard_lock_wait.merge(&other.shard_lock_wait);
+        self.prefetch_hit.merge(&other.prefetch_hit);
+        self.prefetch_miss.merge(&other.prefetch_miss);
     }
 }
 

@@ -9,6 +9,9 @@
 //! * [`pagetable`] — per-node page state: cached copies, twins, per-page
 //!   required versions; authoritative home copies with version vectors and
 //!   idempotent diff application.
+//! * [`homestore`] — the sharded store of home-page state, shared between
+//!   the page table and the service thread so homes serve fetches and apply
+//!   diffs concurrently with application compute.
 //! * [`locks`] — the per-lock manager state machine: routing acquire
 //!   requests to the last owner (which grants directly to the requester with
 //!   LRC write notices), queueing, and crash-retransmission bookkeeping.
@@ -21,11 +24,13 @@
 //! tolerance extensions (logging, checkpointing, LLT/CGC, recovery).
 
 pub mod barrier;
+pub mod homestore;
 pub mod locks;
 pub mod pagetable;
 pub mod wn;
 
 pub use barrier::{Arrival, BarrierManager, ReleaseSet};
+pub use homestore::{ApplyOutcome, FetchOutcome, HomeStore, ReadyFetch, WaitingFetch};
 pub use locks::{LockAction, LockId, LockManagerTable};
-pub use pagetable::{AccessOutcome, HomeMeta, PageMeta, PageState, PageTable};
+pub use pagetable::{AccessOutcome, PageMeta, PageState, PageTable};
 pub use wn::{WnTable, WriteNotice};

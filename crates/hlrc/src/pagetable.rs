@@ -8,12 +8,19 @@
 //! for the paper's mprotect/SIGSEGV machinery): the first write to a page in
 //! an interval creates a *twin*; at interval end, [`PageTable::end_interval`]
 //! turns twins into word-granularity diffs exactly as HLRC does.
+//!
+//! Home-page state itself lives in the sharded [`HomeStore`], shared with
+//! the service thread's lock-free-of-the-big-lock fast path; this table
+//! keeps the remote-page cache (application-thread state under the node's
+//! big lock) plus a slot marker recording where each page is homed.
 
 use std::sync::Arc;
 
 use dsm_page::{
     Diff, DiffScratch, Interval, Page, PageId, PagePool, PoolStats, ProcId, VectorClock,
 };
+
+use crate::homestore::HomeStore;
 
 /// Validity of a cached remote page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,22 +29,6 @@ pub enum PageState {
     Invalid,
     /// The cached copy satisfies every invalidation seen so far.
     Valid,
-}
-
-/// State for a page homed at this node.
-#[derive(Debug)]
-pub struct HomeMeta {
-    /// The authoritative copy.
-    pub copy: Page,
-    /// `p.v`: the most recent interval of each writer applied to the copy.
-    pub version: VectorClock,
-    /// Minimal version local accesses must observe (bumped by write
-    /// notices; accesses wait until `version` covers it, since diffs travel
-    /// separately from notices).
-    pub needed: VectorClock,
-    /// Processes that have ever sent diffs for this page (targets for the
-    /// lazy `p0.v` piggyback of the CGC/LLT scheme).
-    pub writers: Vec<ProcId>,
 }
 
 /// State for a page homed elsewhere.
@@ -55,7 +46,8 @@ pub struct PageMeta {
 
 #[derive(Debug)]
 enum Entry {
-    Home(HomeMeta),
+    /// Homed here; the data lives in the [`HomeStore`].
+    Home,
     Remote(PageMeta),
 }
 
@@ -63,7 +55,8 @@ enum Entry {
 struct Slot {
     entry: Entry,
     /// Pre-write copy for the current interval; `Some` iff this node wrote
-    /// the page in the current interval.
+    /// the (remote) page in the current interval. Home twins live in the
+    /// home store, under the same shard lock as the copy they snapshot.
     twin: Option<Page>,
 }
 
@@ -86,10 +79,13 @@ pub enum AccessOutcome {
 #[derive(Debug)]
 pub struct PageTable {
     me: ProcId,
-    n: usize,
     page_size: usize,
     slots: Vec<Slot>,
-    /// Free list recycling twin / copy-on-write buffers across intervals.
+    /// Sharded authoritative copies of pages homed here, shared with the
+    /// service thread.
+    home: Arc<HomeStore>,
+    /// Free list recycling twin / copy-on-write buffers across intervals
+    /// (remote pages; each home-store shard pools its own).
     pool: PagePool,
     /// Reused diff-creation scratch (one per node, per the zero-copy design).
     scratch: DiffScratch,
@@ -100,17 +96,20 @@ impl PageTable {
     pub fn new(me: ProcId, n: usize, page_size: usize) -> Self {
         PageTable {
             me,
-            n,
             page_size,
             slots: Vec::new(),
+            home: Arc::new(HomeStore::new(n, page_size)),
             pool: PagePool::new(page_size),
             scratch: DiffScratch::new(),
         }
     }
 
-    /// Cumulative buffer-pool counters (exported through run reports).
+    /// Cumulative buffer-pool counters (exported through run reports),
+    /// merged over the remote-page pool and the home-store shard pools.
     pub fn pool_stats(&self) -> PoolStats {
-        self.pool.stats()
+        let mut stats = self.pool.stats();
+        stats.merge(&self.home.pool_stats());
+        stats
     }
 
     /// This node's id.
@@ -133,56 +132,59 @@ impl PageTable {
         self.slots.is_empty()
     }
 
+    /// The shared home store, for the service thread's fast path.
+    pub fn home_store(&self) -> Arc<HomeStore> {
+        Arc::clone(&self.home)
+    }
+
     /// Append the next shared page, homed at `home`. Every node must call
     /// this in the same order with the same arguments (allocation is a
     /// deterministic SPMD operation). Returns the new page id.
     pub fn add_page(&mut self, home: ProcId) -> PageId {
         let id = PageId(self.slots.len() as u32);
         let entry = if home == self.me {
-            Entry::Home(HomeMeta {
-                copy: Page::zeroed(self.page_size),
-                version: VectorClock::zero(self.n),
-                needed: VectorClock::zero(self.n),
-                writers: Vec::new(),
-            })
+            self.home.add(id);
+            Entry::Home
         } else {
             Entry::Remote(PageMeta {
                 home,
                 state: PageState::Invalid,
                 copy: None,
-                needed: VectorClock::zero(self.n),
+                needed: VectorClock::zero(self.cluster_size()),
             })
         };
         self.slots.push(Slot { entry, twin: None });
         id
     }
 
+    fn cluster_size(&self) -> usize {
+        // The home store knows `n`; avoid storing it twice.
+        self.home.cluster_size()
+    }
+
     /// The home of `page`.
     pub fn home_of(&self, page: PageId) -> ProcId {
         match &self.slots[page.index()].entry {
-            Entry::Home(_) => self.me,
+            Entry::Home => self.me,
             Entry::Remote(m) => m.home,
         }
     }
 
     /// Is `page` homed at this node?
     pub fn is_home(&self, page: PageId) -> bool {
-        matches!(self.slots[page.index()].entry, Entry::Home(_))
+        matches!(self.slots[page.index()].entry, Entry::Home)
     }
 
     /// Can `page` be accessed right now, and if not, what fetch is needed?
     pub fn ensure_access(&self, page: PageId) -> AccessOutcome {
         match &self.slots[page.index()].entry {
-            Entry::Home(h) => {
-                if h.version.covers(&h.needed) {
-                    AccessOutcome::Ready
-                } else {
-                    AccessOutcome::NeedFetch {
-                        home: self.me,
-                        needed: h.needed.clone(),
-                    }
-                }
-            }
+            Entry::Home => match self.home.access_gap(page) {
+                None => AccessOutcome::Ready,
+                Some(needed) => AccessOutcome::NeedFetch {
+                    home: self.me,
+                    needed,
+                },
+            },
             Entry::Remote(m) => {
                 if m.state == PageState::Valid {
                     AccessOutcome::Ready
@@ -196,19 +198,20 @@ impl PageTable {
         }
     }
 
-    /// Read `len` bytes at `offset` of a `Ready` page.
+    /// Copy `dst.len()` bytes at `offset` of a `Ready` page into `dst`.
     ///
     /// # Panics
     /// If the page is not accessible (callers must first get
     /// [`AccessOutcome::Ready`]).
-    pub fn read(&self, page: PageId, offset: usize, len: usize) -> &[u8] {
+    pub fn read_into(&self, page: PageId, offset: usize, dst: &mut [u8]) {
         match &self.slots[page.index()].entry {
-            Entry::Home(h) => h.copy.read(offset, len),
-            Entry::Remote(m) => m
-                .copy
-                .as_ref()
-                .unwrap_or_else(|| panic!("read of invalid page {page}"))
-                .read(offset, len),
+            Entry::Home => self.home.read_into(page, offset, dst),
+            Entry::Remote(m) => dst.copy_from_slice(
+                m.copy
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("read of invalid page {page}"))
+                    .read(offset, dst.len()),
+            ),
         }
     }
 
@@ -221,14 +224,8 @@ impl PageTable {
         let Self { slots, pool, .. } = self;
         let slot = &mut slots[page.index()];
         match &mut slot.entry {
-            Entry::Home(h) => {
-                if slot.twin.is_none() {
-                    // The twin is a free snapshot: the write below
-                    // copy-on-writes the authoritative copy out of the
-                    // now-shared buffer, drawing from the pool.
-                    slot.twin = Some(h.copy.twin());
-                }
-                h.copy.write_pooled(pool, offset, bytes);
+            Entry::Home => {
+                self.home.write(page, offset, bytes);
             }
             Entry::Remote(m) => {
                 let copy = m
@@ -249,7 +246,7 @@ impl PageTable {
         let Self { slots, pool, .. } = self;
         let slot = &mut slots[page.index()];
         match &mut slot.entry {
-            Entry::Home(_) => panic!("install_fetch on homed page {page}"),
+            Entry::Home => panic!("install_fetch on homed page {page}"),
             Entry::Remote(m) => {
                 debug_assert!(
                     version.covers(&m.needed),
@@ -277,11 +274,7 @@ impl PageTable {
             "invalidation with unflushed twin for {page}"
         );
         match &mut slot.entry {
-            Entry::Home(h) => {
-                if h.needed.get(writer) < seq {
-                    h.needed.set(writer, seq);
-                }
-            }
+            Entry::Home => self.home.bump_needed(page, writer, seq),
             Entry::Remote(m) => {
                 if writer != *me {
                     m.state = PageState::Invalid;
@@ -296,26 +289,29 @@ impl PageTable {
         }
     }
 
-    /// Pages written (twinned) in the current interval.
+    /// Pages written (twinned) in the current interval, in page order.
     pub fn written_pages(&self) -> Vec<PageId> {
-        self.slots
+        let mut pages: Vec<PageId> = self
+            .slots
             .iter()
             .enumerate()
             .filter(|(_, s)| s.twin.is_some())
             .map(|(i, _)| PageId(i as u32))
-            .collect()
+            .collect();
+        pages.extend(self.home.written_pages());
+        pages.sort_unstable_by_key(|p| p.0);
+        pages
     }
 
     /// End the current interval: turn every twin into a diff, drop the
     /// twins, and (for homed pages) advance `p.v[me]` to the interval.
     ///
-    /// Returns the diffs; the caller sends those for remote pages to their
-    /// homes and (in the fault-tolerant protocol) appends all of them to the
-    /// diff logs.
+    /// Returns the diffs in page order; the caller sends those for remote
+    /// pages to their homes and (in the fault-tolerant protocol) appends all
+    /// of them to the diff logs.
     pub fn end_interval(&mut self, interval: Interval) -> Vec<Diff> {
         debug_assert_eq!(interval.proc, self.me);
         let Self {
-            me,
             slots,
             pool,
             scratch,
@@ -327,10 +323,10 @@ impl PageTable {
                 continue;
             };
             let page = PageId(i as u32);
-            let current = match &slot.entry {
-                Entry::Home(h) => &h.copy,
-                Entry::Remote(m) => m.copy.as_ref().expect("twinned page must be valid"),
+            let Entry::Remote(m) = &slot.entry else {
+                unreachable!("home twins live in the home store");
             };
+            let current = m.copy.as_ref().expect("twinned page must be valid");
             if let Some(d) = Diff::create_with(scratch, page, interval, &twin, current) {
                 diffs.push(d);
             }
@@ -338,12 +334,9 @@ impl PageTable {
             // interval's copy-on-write (rejected harmlessly if still shared,
             // e.g. by an in-flight page reply).
             pool.recycle(twin);
-            if let Entry::Home(h) = &mut slot.entry {
-                // The home's own writes are applied in place; record them in
-                // the version vector like any other writer's diff.
-                h.version.set(*me, interval.seq);
-            }
         }
+        diffs.extend(self.home.end_interval(interval, scratch));
+        diffs.sort_unstable_by_key(|d| d.page.0);
         diffs
     }
 
@@ -354,42 +347,36 @@ impl PageTable {
     /// # Panics
     /// If this node is not the page's home.
     pub fn home_apply_diff(&mut self, diff: &Diff) -> bool {
-        let Self { slots, pool, .. } = self;
-        let slot = &mut slots[diff.page.index()];
-        let Entry::Home(h) = &mut slot.entry else {
-            panic!("diff for page {} sent to non-home", diff.page)
-        };
-        let writer = diff.interval.proc;
-        if h.version.get(writer) >= diff.interval.seq {
-            return false;
-        }
-        diff.apply_pooled(&mut h.copy, pool);
-        h.version.set(writer, diff.interval.seq);
-        if !h.writers.contains(&writer) {
-            h.writers.push(writer);
-        }
-        true
-    }
-
-    /// Home metadata for a homed page.
-    pub fn home_meta(&self, page: PageId) -> &HomeMeta {
-        match &self.slots[page.index()].entry {
-            Entry::Home(h) => h,
-            Entry::Remote(_) => panic!("home_meta on remote page {page}"),
-        }
-    }
-
-    /// Mutable home metadata for a homed page.
-    pub fn home_meta_mut(&mut self, page: PageId) -> &mut HomeMeta {
-        match &mut self.slots[page.index()].entry {
-            Entry::Home(h) => h,
-            Entry::Remote(_) => panic!("home_meta on remote page {page}"),
+        use crate::homestore::ApplyOutcome;
+        let before = self.home.version_of(diff.page).get(diff.interval.proc);
+        match self.home.apply_diff(diff, || true) {
+            ApplyOutcome::Applied(_ready) => before < diff.interval.seq,
+            ApplyOutcome::NotHome => panic!("diff for page {} sent to non-home", diff.page),
+            ApplyOutcome::Stale => unreachable!("liveness check is constant"),
         }
     }
 
     /// Does the home copy of `page` satisfy `needed`?
     pub fn home_satisfies(&self, page: PageId, needed: &VectorClock) -> bool {
-        self.home_meta(page).version.covers(needed)
+        assert!(self.is_home(page), "home_satisfies on remote page {page}");
+        self.home.satisfies(page, needed)
+    }
+
+    /// Version vector of a page homed here.
+    pub fn home_version(&self, page: PageId) -> VectorClock {
+        assert!(self.is_home(page), "home_version on remote page {page}");
+        self.home.version_of(page)
+    }
+
+    /// Zero-copy `(version, bytes)` view of a page homed here.
+    pub fn home_snapshot(&self, page: PageId) -> (VectorClock, Arc<[u8]>) {
+        assert!(self.is_home(page), "home_snapshot on remote page {page}");
+        self.home.snapshot(page)
+    }
+
+    /// Has `proc` ever sent a diff for `page` (homed here)?
+    pub fn home_writers_contain(&self, page: PageId, proc_: ProcId) -> bool {
+        self.home.writers_contain(page, proc_)
     }
 
     /// Ids of all pages homed at this node.
@@ -397,7 +384,7 @@ impl PageTable {
         self.slots
             .iter()
             .enumerate()
-            .filter(|(_, s)| matches!(s.entry, Entry::Home(_)))
+            .filter(|(_, s)| matches!(s.entry, Entry::Home))
             .map(|(i, _)| PageId(i as u32))
             .collect()
     }
@@ -406,31 +393,29 @@ impl PageTable {
     pub fn remote_meta(&self, page: PageId) -> &PageMeta {
         match &self.slots[page.index()].entry {
             Entry::Remote(m) => m,
-            Entry::Home(_) => panic!("remote_meta on homed page {page}"),
+            Entry::Home => panic!("remote_meta on homed page {page}"),
         }
     }
 
     /// Restart support: drop every cached remote copy and twin (the crash
-    /// lost them), keeping home entries for the caller to overwrite from the
-    /// checkpoint, and set the remote `needed` vectors from `needed_by_page`
-    /// (page, writer, seq) triples saved in the checkpoint.
+    /// lost them) and every parked remote fetch, keeping home copies for the
+    /// caller to overwrite from the checkpoint, and set the `needed` vectors
+    /// from `needed_by_page` (page, writer, seq) triples saved in the
+    /// checkpoint.
     pub fn reset_for_restart(&mut self, needed_by_page: &[(PageId, ProcId, u32)]) {
+        let n = self.cluster_size();
+        self.home.reset_for_restart();
         for slot in &mut self.slots {
             slot.twin = None;
-            match &mut slot.entry {
-                Entry::Home(h) => {
-                    h.needed = VectorClock::zero(self.n);
-                }
-                Entry::Remote(m) => {
-                    m.state = PageState::Invalid;
-                    m.copy = None;
-                    m.needed = VectorClock::zero(self.n);
-                }
+            if let Entry::Remote(m) = &mut slot.entry {
+                m.state = PageState::Invalid;
+                m.copy = None;
+                m.needed = VectorClock::zero(n);
             }
         }
         for &(page, writer, seq) in needed_by_page {
             match &mut self.slots[page.index()].entry {
-                Entry::Home(h) => h.needed.set(writer, seq),
+                Entry::Home => self.home.bump_needed(page, writer, seq),
                 Entry::Remote(m) => m.needed.set(writer, seq),
             }
         }
@@ -439,27 +424,25 @@ impl PageTable {
     /// Checkpoint support: the (page, writer, seq) triples of every nonzero
     /// `needed` entry.
     pub fn needed_triples(&self) -> Vec<(PageId, ProcId, u32)> {
-        let mut out = Vec::new();
+        let mut out = self.home.needed_triples();
         for (i, slot) in self.slots.iter().enumerate() {
-            let needed = match &slot.entry {
-                Entry::Home(h) => &h.needed,
-                Entry::Remote(m) => &m.needed,
-            };
-            for (p, &seq) in needed.as_slice().iter().enumerate() {
-                if seq > 0 {
-                    out.push((PageId(i as u32), p, seq));
+            if let Entry::Remote(m) = &slot.entry {
+                for (p, &seq) in m.needed.as_slice().iter().enumerate() {
+                    if seq > 0 {
+                        out.push((PageId(i as u32), p, seq));
+                    }
                 }
             }
         }
+        out.sort_unstable();
         out
     }
 
     /// Overwrite the authoritative copy and version of a homed page
     /// (restoring from a checkpoint during recovery).
     pub fn restore_home_page(&mut self, page: PageId, bytes: &[u8], version: VectorClock) {
-        let h = self.home_meta_mut(page);
-        h.copy = Page::from_bytes(bytes);
-        h.version = version;
+        assert!(self.is_home(page), "restore of remote page {page}");
+        self.home.restore(page, bytes, version);
     }
 }
 
@@ -479,12 +462,18 @@ mod tests {
         t
     }
 
+    fn read_vec(t: &PageTable, page: PageId, offset: usize, len: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; len];
+        t.read_into(page, offset, &mut buf);
+        buf
+    }
+
     #[test]
     fn home_pages_are_immediately_accessible() {
         let t = table();
         assert!(t.is_home(PageId(0)));
         assert_eq!(t.ensure_access(PageId(0)), AccessOutcome::Ready);
-        assert_eq!(t.read(PageId(0), 0, 4), &[0, 0, 0, 0]);
+        assert_eq!(read_vec(&t, PageId(0), 0, 4), &[0, 0, 0, 0]);
     }
 
     #[test]
@@ -518,11 +507,25 @@ mod tests {
     fn home_writes_advance_own_version_at_interval_end() {
         let mut t = table();
         t.write(PageId(0), 0, &[1, 2, 3]);
+        assert_eq!(t.written_pages(), vec![PageId(0)]);
         let diffs = t.end_interval(iv(0, 3));
         // The home's own diff is returned (for FT logging) but the copy is
         // already up to date and p.v[0] advanced.
         assert_eq!(diffs.len(), 1);
-        assert_eq!(t.home_meta(PageId(0)).version.get(0), 3);
+        assert_eq!(t.home_version(PageId(0)).get(0), 3);
+    }
+
+    #[test]
+    fn mixed_home_and_remote_writes_diff_in_page_order() {
+        let mut t = table();
+        t.install_fetch(PageId(1), vec![0u8; 64].into(), &VectorClock::zero(2));
+        t.write(PageId(1), 0, &[9]);
+        t.write(PageId(0), 0, &[8]);
+        assert_eq!(t.written_pages(), vec![PageId(0), PageId(1)]);
+        let diffs = t.end_interval(iv(0, 1));
+        assert_eq!(diffs.len(), 2);
+        assert_eq!(diffs[0].page, PageId(0));
+        assert_eq!(diffs[1].page, PageId(1));
     }
 
     #[test]
@@ -534,9 +537,10 @@ mod tests {
         let d = Diff::create(PageId(0), iv(1, 2), &twin, &cur).unwrap();
         assert!(t.home_apply_diff(&d));
         assert!(!t.home_apply_diff(&d)); // duplicate skipped
-        assert_eq!(t.home_meta(PageId(0)).version.get(1), 2);
-        assert_eq!(t.home_meta(PageId(0)).writers, vec![1]);
-        assert_eq!(t.read(PageId(0), 0, 8), &[7; 8]);
+        assert_eq!(t.home_version(PageId(0)).get(1), 2);
+        assert!(t.home_writers_contain(PageId(0), 1));
+        assert!(!t.home_writers_contain(PageId(0), 0));
+        assert_eq!(read_vec(&t, PageId(0), 0, 8), &[7; 8]);
     }
 
     #[test]
@@ -602,6 +606,9 @@ mod tests {
         t2.reset_for_restart(&triples);
         assert_eq!(t2.needed_triples().len(), 2);
         assert_eq!(t2.remote_meta(PageId(1)).needed.get(1), 3);
-        assert_eq!(t2.home_meta(PageId(0)).needed.get(1), 5);
+        match t2.ensure_access(PageId(0)) {
+            AccessOutcome::NeedFetch { needed, .. } => assert_eq!(needed.get(1), 5),
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 }

@@ -92,12 +92,80 @@ fn mixed_kernel_with_many_locks_and_crash() {
             .with_policy(CkptPolicy::EverySteps(3))
     };
     let clean = run(cfg(), &[], app);
+    // The lock grants' write notices must have exercised the batched
+    // prefetch path, or this test no longer covers it.
+    assert!(
+        clean.total_hists().fetch_batch_pages.count() > 0,
+        "no prefetch batches were issued"
+    );
     for victim in 0..4 {
         let crashed = run(
             cfg(),
             &[FailureSpec {
                 node: victim,
                 at_op: 150,
+            }],
+            app,
+        );
+        assert_eq!(clean.results, crashed.results, "victim {victim}");
+        assert_eq!(clean.shared_hash, crashed.shared_hash, "victim {victim}");
+        assert_eq!(crashed.nodes[victim].ft.recoveries, 1, "victim {victim}");
+    }
+}
+
+/// A home crashes while batched prefetches are in flight: every barrier
+/// invalidates each reader's copies of every writer's pages, so the nodes
+/// issue `PageBatchReq` bursts continuously. Crashing a home at various
+/// points lands crashes between a batch request and its reply; the
+/// requesters must retransmit on `NodeUp` and recovery replay must still
+/// converge bit-identically.
+#[test]
+fn home_crash_with_prefetch_batches_in_flight() {
+    let app = |p: &mut ftdsm_suite::Process| {
+        let n = p.nodes();
+        let words = 32; // one 256 B page per stripe entry
+        let pages = 4 * n;
+        let data = p.alloc_vec::<u64>(pages * words, HomeAlloc::Interleaved);
+        let mut state = 0u64;
+        p.run_steps(&mut state, 8, |p, state, step| {
+            let me = p.me();
+            // Dirty our stripe (pages homed on every node, ours included).
+            for pg in (me..pages).step_by(n) {
+                let v = data.get(p, pg * words + me);
+                data.set(p, pg * words + me, v + step + 1);
+            }
+            p.barrier();
+            // Read every page: all remote copies were just invalidated, so
+            // the post-barrier prefetch covers them in one batch per home.
+            let mut acc = 0u64;
+            for pg in 0..pages {
+                for w in 0..n {
+                    acc = acc.wrapping_add(data.get(p, pg * words + w));
+                }
+            }
+            *state = state.wrapping_add(acc);
+            p.barrier();
+        });
+        state
+    };
+    let cfg = || {
+        ClusterConfig::fault_tolerant(4)
+            .with_page_size(256)
+            .with_policy(CkptPolicy::EverySteps(2))
+    };
+    let clean = run(cfg(), &[], app);
+    let h = clean.total_hists();
+    assert!(
+        h.fetch_batch_pages.count() > 0,
+        "no prefetch batches issued"
+    );
+    assert!(h.prefetch_hit.count() > 0, "no read ever hit a prefetch");
+    for (victim, at_op) in [(0, 120), (1, 200), (2, 333), (3, 451)] {
+        let crashed = run(
+            cfg(),
+            &[FailureSpec {
+                node: victim,
+                at_op,
             }],
             app,
         );
