@@ -83,7 +83,7 @@ fn bench_checkpoint_codec(c: &mut Criterion) {
         step: 12,
         app_state: vec![7; 256],
         needed: (0..64).map(|i| (PageId(i), (i % 8) as usize, i)).collect(),
-        tenures: vec![(3, 7, true), (9, 2, false)],
+        tenures: vec![(3, 7, 5, true), (9, 2, 4, false)],
         last_release_vts: vec![(3, VectorClock::from_vec(vec![9; 8]))],
         home_pages: (0..32)
             .map(|i| {

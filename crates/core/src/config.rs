@@ -1,7 +1,30 @@
 //! Cluster and fault-tolerance configuration.
 
+use dsm_member::MemberConfig;
+use dsm_net::FaultPlan;
 use dsm_storage::DiskModel;
 use dsm_trace::TraceConfig;
+
+/// The cluster seed when `FTDSM_SEED` is not set.
+pub const DEFAULT_SEED: u64 = 0xF7D5;
+
+/// Read the cluster seed from the `FTDSM_SEED` environment variable
+/// (decimal, or hex with an `0x` prefix); falls back to [`DEFAULT_SEED`].
+/// Every chaos/membership test failure echoes the seed it ran with, so any
+/// failure reproduces with `FTDSM_SEED=<seed> cargo test …`.
+pub fn seed_from_env() -> u64 {
+    match std::env::var("FTDSM_SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse(),
+            };
+            parsed.unwrap_or_else(|_| panic!("FTDSM_SEED not a u64: {s:?}"))
+        }
+        Err(_) => DEFAULT_SEED,
+    }
+}
 
 /// When a node decides to take an independent checkpoint.
 ///
@@ -81,6 +104,18 @@ pub struct ClusterConfig {
     /// Protocol event tracing. Defaults to the `FTDSM_TRACE*` environment
     /// variables, so any run can be traced without code changes.
     pub trace: TraceConfig,
+    /// The run's seed: drives the chaos plan's fault decisions. Defaults to
+    /// `FTDSM_SEED` (see [`seed_from_env`]).
+    pub seed: u64,
+    /// Fault injection on the fabric. The plan's own `seed` field is
+    /// ignored — the cluster seed above is threaded in so one knob
+    /// reproduces a run. Enabling chaos auto-enables membership (the retry
+    /// layer is what makes a lossy fabric survivable).
+    pub chaos: Option<FaultPlan>,
+    /// Heartbeat membership / failure detection, plus the request
+    /// timeout-retry layer. `None` (the default) keeps the original
+    /// orchestrated-recovery behavior with a reliable fabric.
+    pub membership: Option<MemberConfig>,
 }
 
 impl ClusterConfig {
@@ -92,6 +127,9 @@ impl ClusterConfig {
             ft: None,
             disk: DiskModel::instant(),
             trace: TraceConfig::from_env(),
+            seed: seed_from_env(),
+            chaos: None,
+            membership: None,
         }
     }
 
@@ -104,6 +142,9 @@ impl ClusterConfig {
             ft: Some(FtConfig::default()),
             disk: DiskModel::instant(),
             trace: TraceConfig::from_env(),
+            seed: seed_from_env(),
+            chaos: None,
+            membership: None,
         }
     }
 
@@ -136,6 +177,29 @@ impl ClusterConfig {
     /// Replace the trace configuration (e.g. `TraceConfig::enabled()`).
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Replace the seed (normally left to `FTDSM_SEED`).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Attach a chaos fault plan to the fabric. The plan's embedded seed is
+    /// replaced by the cluster seed; membership (and with it the retry
+    /// layer) is switched on if it wasn't already.
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        if self.membership.is_none() {
+            self.membership = Some(MemberConfig::default());
+        }
+        self
+    }
+
+    /// Enable heartbeat membership / failure detection with `cfg`.
+    pub fn with_membership(mut self, cfg: MemberConfig) -> Self {
+        self.membership = Some(cfg);
         self
     }
 

@@ -33,9 +33,11 @@ pub struct CheckpointBlob {
     pub app_state: Vec<u8>,
     /// Sparse (page, writer, seq) required-version triples.
     pub needed: Vec<(PageId, ProcId, u32)>,
-    /// Lock tenures: (lock, our acquisition sequence number, released?).
-    /// Unreleased tenures are the locks held at checkpoint time.
-    pub tenures: Vec<(LockId, u64, bool)>,
+    /// Lock tenures: (lock, our acquisition sequence number, the grant
+    /// generation that granted it, released?). Unreleased tenures are the
+    /// locks held at checkpoint time; the generation orders delivered
+    /// tenures when a recovering lock manager rebuilds its chains.
+    pub tenures: Vec<(LockId, u64, u64, bool)>,
     /// Release-time timestamps of locks this node last released.
     pub last_release_vts: Vec<(LockId, VectorClock)>,
     /// Homed pages: (page, version vector, contents).
@@ -67,9 +69,10 @@ impl CheckpointBlob {
             w.put_u32(seq);
         }
         w.put_u64(self.tenures.len() as u64);
-        for &(l, acq, released) in &self.tenures {
+        for &(l, acq, gen, released) in &self.tenures {
             w.put_u64(l as u64);
             w.put_u64(acq);
+            w.put_u64(gen);
             w.put_u8(released as u8);
         }
         w.put_u64(self.last_release_vts.len() as u64);
@@ -109,8 +112,9 @@ impl CheckpointBlob {
         for _ in 0..n_ten {
             let l = r.get_u64()? as LockId;
             let acq = r.get_u64()?;
+            let gen = r.get_u64()?;
             let released = r.get_u8()? != 0;
-            tenures.push((l, acq, released));
+            tenures.push((l, acq, gen, released));
         }
         let n_rel = r.get_u64()? as usize;
         let mut last_release_vts = Vec::with_capacity(n_rel);
@@ -169,7 +173,7 @@ mod tests {
             step: 11,
             app_state: vec![9, 8, 7],
             needed: vec![(PageId(2), 1, 5)],
-            tenures: vec![(13, 4, false), (2, 1, true)],
+            tenures: vec![(13, 4, 6, false), (2, 1, 3, true)],
             last_release_vts: vec![(4, vt(&[2, 0, 0]))],
             home_pages: vec![(PageId(0), vt(&[4, 0, 0]), vec![0u8; 64])],
         }

@@ -224,7 +224,11 @@ pub(crate) fn take_checkpoint(
         step,
         app_state,
         needed: st.pt.needed_triples(),
-        tenures: st.tenure.iter().map(|(&l, &(a, r))| (l, a, r)).collect(),
+        tenures: st
+            .tenure
+            .iter()
+            .map(|(&l, &(a, r))| (l, a, st.tenure_gen.get(&l).copied().unwrap_or(0), r))
+            .collect(),
         last_release_vts: st
             .last_release_vt
             .iter()

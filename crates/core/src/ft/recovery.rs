@@ -127,12 +127,17 @@ pub(crate) fn run_recovery(shared: &Arc<NodeShared>) -> (u64, Vec<u8>) {
                 st.vt = ckpt.tckp.clone();
                 st.acq_seq_next = ckpt.acq_seq_next;
                 st.bar_episode = ckpt.bar_episode;
-                st.tenure = ckpt.tenures.iter().map(|&(l, a, r)| (l, (a, r))).collect();
+                st.tenure = ckpt
+                    .tenures
+                    .iter()
+                    .map(|&(l, a, _, r)| (l, (a, r)))
+                    .collect();
+                st.tenure_gen = ckpt.tenures.iter().map(|&(l, _, g, _)| (l, g)).collect();
                 st.held = ckpt
                     .tenures
                     .iter()
-                    .filter(|&&(_, _, released)| !released)
-                    .map(|&(l, _, _)| l)
+                    .filter(|&&(_, _, _, released)| !released)
+                    .map(|&(l, _, _, _)| l)
                     .collect();
                 st.last_release_vt = ckpt.last_release_vts.iter().cloned().collect();
                 st.pt.reset_for_restart(&ckpt.needed);
@@ -156,6 +161,7 @@ pub(crate) fn run_recovery(shared: &Arc<NodeShared>) -> (u64, Vec<u8>) {
                 st.acq_seq_next = 0;
                 st.bar_episode = 0;
                 st.tenure.clear();
+                st.tenure_gen.clear();
                 st.held.clear();
                 st.last_release_vt.clear();
                 st.pt.reset_for_restart(&[]);
@@ -274,6 +280,7 @@ pub(crate) fn run_recovery(shared: &Arc<NodeShared>) -> (u64, Vec<u8>) {
                         bar,
                         bar_mgr,
                         lock_chains,
+                        gen_floor,
                     } = payload
                     else {
                         unreachable!()
@@ -321,12 +328,31 @@ pub(crate) fn run_recovery(shared: &Arc<NodeShared>) -> (u64, Vec<u8>) {
                         replay.bar_results.insert(e.episode, e.result_vt.clone());
                     }
                     // Manager rebuild: chains for locks we manage.
-                    for (lock, gen, grantee, grantee_acq) in lock_chains {
-                        if lock % n == me {
-                            st.sync
-                                .lock()
-                                .lock_mgr
-                                .restore_chain(lock, gen, grantee, grantee_acq);
+                    // Chain reset: the peer discarded its queued edges for
+                    // our locks when serving the handshake and reports only
+                    // materialized acquisitions (its delivered tenures, the
+                    // grants in its release log). Rebuild tails from those;
+                    // the discarded edges' requesters re-drive their
+                    // acquisitions and are chained fresh. `gen_floor` keeps
+                    // fresh edges above every pre-crash generation,
+                    // including the discarded ones.
+                    {
+                        let mut sync = st.sync.lock();
+                        for (lock, gen, grantee, grantee_acq, granter) in lock_chains {
+                            if lock % n == me {
+                                sync.lock_mgr.restore_chain(
+                                    lock,
+                                    gen,
+                                    grantee,
+                                    grantee_acq,
+                                    granter,
+                                );
+                            }
+                        }
+                        for (lock, gen) in gen_floor {
+                            if lock % n == me {
+                                sync.lock_mgr.bound_gen(lock, gen);
+                            }
                         }
                     }
                 } else {
@@ -339,18 +365,31 @@ pub(crate) fn run_recovery(shared: &Arc<NodeShared>) -> (u64, Vec<u8>) {
                     .wait_for(&mut st, std::time::Duration::from_secs(30));
             }
         }
-        // Our own chains: locks we manage where we granted.
+        // Our own chains: locks we manage where we granted (restored from
+        // the grantees' mirrors — every entry was a delivered grant), plus
+        // our own checkpoint-restored tenures of locks we manage (replayed
+        // tenures restore theirs as the replay reaches them).
         let own_chains: Vec<(hlrc::LockId, u64, ProcId, u64)> = st
             .lock_chain_info
             .iter()
             .map(|(&l, &(g, t, a))| (l, g, t, a))
             .collect();
-        for (lock, gen, grantee, grantee_acq) in own_chains {
-            if lock % n == me {
-                st.sync
-                    .lock()
-                    .lock_mgr
-                    .restore_chain(lock, gen, grantee, grantee_acq);
+        let own_tenures: Vec<(hlrc::LockId, u64, u64)> = st
+            .tenure
+            .iter()
+            .filter(|(&l, _)| l % n == me)
+            .map(|(&l, &(a, _))| (l, st.tenure_gen.get(&l).copied().unwrap_or(0), a))
+            .collect();
+        {
+            let mut sync = st.sync.lock();
+            for (lock, gen, grantee, grantee_acq) in own_chains {
+                if lock % n == me {
+                    sync.lock_mgr
+                        .restore_chain(lock, gen, grantee, grantee_acq, Some(me));
+                }
+            }
+            for (lock, gen, acq) in own_tenures {
+                sync.lock_mgr.restore_chain(lock, gen, me, acq, None);
             }
         }
         // Rebuild the barrier-manager mirror for future recoveries of peers.

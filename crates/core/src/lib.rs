@@ -40,7 +40,9 @@ pub mod shareable;
 pub mod stats;
 pub mod wire;
 
-pub use config::{CkptPolicy, ClusterConfig, FailureSpec, FtConfig, HomeAlloc};
+pub use config::{seed_from_env, CkptPolicy, ClusterConfig, FailureSpec, FtConfig, HomeAlloc};
+pub use dsm_member::{MemberConfig, MemberStats};
+pub use dsm_net::{FaultPlan, FaultRule};
 pub use dsm_page::{GlobalAddr, PageId};
 pub use dsm_storage::{DiskMode, DiskModel};
 pub use dsm_trace::{Trace, TraceConfig};

@@ -97,7 +97,23 @@ pub enum Payload {
         /// ordered application). Shared with the sender's volatile diff log:
         /// sending a batch never copies run payloads.
         diffs: Vec<Arc<Diff>>,
+        /// Stop-and-wait sequence number within the (writer, home) stream,
+        /// `>= 1` when the retry layer is on: the home acks it with
+        /// [`Payload::DiffAck`] and the writer keeps at most one batch in
+        /// flight per home, preserving first-delivery order under loss and
+        /// reordering (the home's version gate makes *re*-delivery safe,
+        /// but would silently skip an out-of-order *first* delivery).
+        /// `0` on the legacy reliable path: no ack expected.
+        seq: u64,
     },
+    /// Home → writer acknowledgement of a [`Payload::DiffBatch`].
+    DiffAck {
+        /// The acknowledged batch's sequence number.
+        seq: u64,
+    },
+    /// A membership/failure-detection message (heartbeats, suspicion
+    /// rounds, down announcements). Never piggybacked, never backlogged.
+    Member(dsm_member::Wire),
     /// Barrier arrival: participant → barrier manager.
     BarrierArrive {
         /// Barrier crossing number at the participant.
@@ -179,10 +195,20 @@ pub enum Payload {
         /// The peer's barrier-manager mirror (non-empty only from the
         /// barrier manager).
         bar_mgr: Vec<MgrBarEntry>,
-        /// Per lock: the highest grant generation the peer issued or has
-        /// queued, its grantee, and the grantee's acquisition sequence
-        /// number (rebuilds the manager's chain tails).
-        lock_chains: Vec<(LockId, u64, ProcId, u64)>,
+        /// Per lock managed by the recovering node: the highest-generation
+        /// *materialized* acquisition the peer knows — its own newest
+        /// tenure (granter `None`) or the newest grant in its release log
+        /// (granter `Some(peer)`): `(lock, gen, grantee, grantee_acq,
+        /// granter)`. Rebuilds the manager's chain tails. Queued (not yet
+        /// granted) edges are deliberately absent: the peer discards them
+        /// when serving this handshake — the chain reset — and their
+        /// requesters re-drive the acquisition.
+        lock_chains: Vec<(LockId, u64, ProcId, u64, Option<ProcId>)>,
+        /// Per lock managed by the recovering node: the highest grant
+        /// generation the peer has *seen* in any role, including queued
+        /// edges it just discarded. Bounds the recovered manager's next
+        /// generation so fresh edges outrank every pre-crash one.
+        gen_floor: Vec<(LockId, u64)>,
     },
     /// Maximal-starting-copy request: recovering node → home.
     RecPageReq {
@@ -224,7 +250,11 @@ impl Payload {
             Payload::LockGrant { vt, wns, .. } => {
                 25 + vt.wire_size() + wns.iter().map(|w| w.wire_size()).sum::<usize>()
             }
-            Payload::DiffBatch { diffs } => 9 + diffs.iter().map(|d| d.wire_size()).sum::<usize>(),
+            Payload::DiffBatch { diffs, .. } => {
+                17 + diffs.iter().map(|d| d.wire_size()).sum::<usize>()
+            }
+            Payload::DiffAck { .. } => 9,
+            Payload::Member(w) => w.wire_size(),
             Payload::BarrierArrive { vt, own_wns, .. } => {
                 9 + vt.wire_size() + own_wns.iter().map(|w| w.wire_size()).sum::<usize>()
             }
@@ -253,6 +283,7 @@ impl Payload {
                 bar,
                 bar_mgr,
                 lock_chains,
+                gen_floor,
             } => {
                 1 + wn.iter().map(|e| e.wire_size()).sum::<usize>()
                     + rel_for_you.iter().map(|e| e.wire_size()).sum::<usize>()
@@ -265,7 +296,8 @@ impl Payload {
                                 + e.arrival_vts.iter().map(|v| v.wire_size()).sum::<usize>()
                         })
                         .sum::<usize>()
-                    + 28 * lock_chains.len()
+                    + 33 * lock_chains.len()
+                    + 16 * gen_floor.len()
             }
             Payload::RecPageReq { tckp, .. } => 5 + tckp.wire_size(),
             Payload::RecPageReply { version, bytes, .. } => 5 + version.wire_size() + bytes.len(),
@@ -283,6 +315,8 @@ impl Payload {
             Payload::LockForward { .. } => "LockForward",
             Payload::LockGrant { .. } => "LockGrant",
             Payload::DiffBatch { .. } => "DiffBatch",
+            Payload::DiffAck { .. } => "DiffAck",
+            Payload::Member(w) => w.kind(),
             Payload::BarrierArrive { .. } => "BarrierArrive",
             Payload::BarrierRelease { .. } => "BarrierRelease",
             Payload::PageReq { .. } => "PageReq",

@@ -1,15 +1,16 @@
 //! Cluster construction and the run loop.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use dsm_member::{Detector, MemberConfig};
 use dsm_net::Fabric;
 use dsm_page::VectorClock;
 use dsm_storage::StableStore;
-use dsm_trace::Trace;
+use dsm_trace::{Histogram, Trace};
 use hlrc::barrier::BarrierManager;
 use hlrc::{LockManagerTable, PageTable, WnTable};
 use parking_lot::{Condvar, Mutex};
@@ -18,7 +19,8 @@ use crate::config::{ClusterConfig, FailureSpec};
 use crate::ft::FtState;
 use crate::msg::Msg;
 use crate::runtime::node::{
-    service_loop, CrashSignal, Mode, NodeShared, NodeState, SyncState, WaitSlot,
+    apply_member_actions, retransmit_stale_diffs, service_loop, CrashSignal, MemberRuntime, Mode,
+    NodeShared, NodeState, SyncState, WaitSlot,
 };
 use crate::runtime::process::Process;
 use crate::stats::{NodeReport, RunReport};
@@ -64,7 +66,20 @@ where
     if trace.is_enabled() {
         trace.register_flight_recorder();
     }
+    // Chaos auto-enables membership: the heartbeat/retry layer is what makes
+    // a lossy fabric survivable.
+    let membership: Option<MemberConfig> = config
+        .membership
+        .clone()
+        .or_else(|| config.chaos.as_ref().map(|_| MemberConfig::default()));
     let (fabric, endpoints) = Fabric::<Msg>::new(n);
+    if let Some(plan) = &config.chaos {
+        // One knob reproduces a run: the cluster seed replaces whatever the
+        // plan was built with.
+        let mut plan = plan.clone();
+        plan.seed = config.seed;
+        fabric.set_fault_plan(&plan);
+    }
     let mut shareds: Vec<Arc<NodeShared>> = Vec::with_capacity(n);
     for (i, mut ep) in endpoints.into_iter().enumerate() {
         ep.attach_tracer(trace.tracer(i));
@@ -90,6 +105,7 @@ where
             })),
             held: Default::default(),
             tenure: Default::default(),
+            tenure_gen: Default::default(),
             last_release_vt: Default::default(),
             pending_grants: Default::default(),
             lock_chain_info: Default::default(),
@@ -116,6 +132,20 @@ where
             crash_queue,
             recoveries: 0,
             ep: Arc::new(ep),
+            member: membership.as_ref().map(|cfg| {
+                Arc::new(MemberRuntime {
+                    det: Mutex::new(Detector::new(i, n, cfg.clone(), Instant::now())),
+                    rtt: Mutex::new(Histogram::new()),
+                    susp: Mutex::new(Histogram::new()),
+                })
+            }),
+            retry_after: membership.as_ref().map(|cfg| cfg.retry_after),
+            retransmits: 0,
+            dup_suppressed: 0,
+            diff_outbox: (0..n).map(|_| VecDeque::new()).collect(),
+            diff_inflight: vec![None; n],
+            diff_seq_next: 0,
+            own_diff_seq: HashMap::new(),
             breakdown_acc: Default::default(),
             tracer: trace.tracer(i),
             hists: Default::default(),
@@ -139,6 +169,56 @@ where
         })
         .collect();
 
+    // One heartbeat ticker per node: drives the failure detector's timers
+    // and the diff-outbox retransmission scan. Tickers run until explicitly
+    // stopped (heartbeats never quiesce, so they must die before the
+    // traffic-quiesce loop below can converge).
+    let ticker_stop = Arc::new(AtomicBool::new(false));
+    let ticker_handles: Vec<_> = match &membership {
+        None => Vec::new(),
+        Some(cfg) => shareds
+            .iter()
+            .map(|s| {
+                let shared = Arc::clone(s);
+                let stop = Arc::clone(&ticker_stop);
+                let every = cfg.heartbeat_every;
+                std::thread::Builder::new()
+                    .name(format!("dsm-hb-{}", s.me))
+                    .spawn(move || {
+                        let (mr, ep, tracer, mode_flag) = {
+                            let st = shared.state.lock();
+                            (
+                                st.member.clone().expect("ticker without member runtime"),
+                                Arc::clone(&st.ep),
+                                st.tracer.clone(),
+                                Arc::clone(&st.mode_flag),
+                            )
+                        };
+                        while !stop.load(Ordering::SeqCst) {
+                            std::thread::sleep(every);
+                            // A crashed node is silent: no heartbeats, no
+                            // retransmissions — that silence is exactly what
+                            // the peers' detectors pick up.
+                            if mode_flag.load(Ordering::SeqCst) == Mode::Crashed.flag() {
+                                continue;
+                            }
+                            let actions = mr.det.lock().tick(Instant::now());
+                            apply_member_actions(&shared, &ep, &tracer, &mr, actions);
+                            // Retransmit stale in-flight diff batches. Skip
+                            // when the big lock is busy — the app thread owns
+                            // it while computing; the next tick retries.
+                            if let Some(mut st) = shared.state.try_lock() {
+                                if st.mode != Mode::Crashed {
+                                    retransmit_stale_diffs(&mut st);
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn heartbeat ticker")
+            })
+            .collect(),
+    };
+
     let app = Arc::new(app);
     let active_recoveries = Arc::new(AtomicUsize::new(0));
     let t0 = Instant::now();
@@ -148,6 +228,7 @@ where
             let app = Arc::clone(&app);
             let fabric = fabric.clone();
             let active = Arc::clone(&active_recoveries);
+            let membership = membership.clone();
             std::thread::Builder::new()
                 .name(format!("dsm-app-{i}"))
                 .spawn(move || {
@@ -179,6 +260,16 @@ where
                                     st.wait = WaitSlot::None;
                                     st.replay = None;
                                     st.prefetch.clear();
+                                    // Fail-stop loses the volatile diff
+                                    // outbox with everything else; replay
+                                    // regenerates the diffs under new seqs.
+                                    for q in st.diff_outbox.iter_mut() {
+                                        q.clear();
+                                    }
+                                    for s in st.diff_inflight.iter_mut() {
+                                        *s = None;
+                                    }
+                                    st.own_diff_seq.clear();
                                     // Fence the lock-free fast path: after
                                     // the mode flag flips, drain the sync
                                     // and shard locks so no fast-path op
@@ -195,16 +286,38 @@ where
                                     let st = shared.state.lock();
                                     st.ep.drain();
                                 }
-                                // Failure-detection delay.
-                                std::thread::sleep(Duration::from_millis(10));
+                                // Stay dead long enough for the failure to
+                                // be observable. With membership on, that
+                                // means longer than the detection bound, so
+                                // peers must notice the silence themselves —
+                                // no orchestrated hint ever reaches them.
+                                let dead_for = match &membership {
+                                    Some(cfg) => cfg.detection_bound() + cfg.heartbeat_every * 4,
+                                    None => Duration::from_millis(10),
+                                };
+                                std::thread::sleep(dead_for);
                                 {
                                     let mut st = shared.state.lock();
+                                    // New incarnation before the ticker sees
+                                    // Recovering: the next heartbeat already
+                                    // carries the bumped number, which is how
+                                    // peers learn we are back.
+                                    if let Some(mr) = &st.member {
+                                        mr.det.lock().begin_new_incarnation(Instant::now());
+                                    }
                                     st.set_mode(Mode::Recovering);
                                     st.backlog.clear();
                                     st.rec_inbox.clear();
                                     st.pending_unalloc.clear();
                                 }
-                                fabric.restart(i);
+                                if membership.is_some() {
+                                    // Peers discover the restart from the
+                                    // incarnation bump in our heartbeats and
+                                    // retransmit on their own Up event.
+                                    fabric.restart_silent(i);
+                                } else {
+                                    fabric.restart(i);
+                                }
                                 recovering = true;
                             }
                             Err(p) => resume_unwind(p),
@@ -223,6 +336,36 @@ where
         })
         .collect();
     let wall = t0.elapsed();
+
+    // With the retry layer on, the final diff flushes may still be waiting
+    // for acks under loss; keep the tickers retransmitting until every
+    // outbox drains (ack received ⇒ the home applied the batch).
+    if membership.is_some() {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let drained = shareds.iter().all(|s| {
+                let st = s.state.lock();
+                st.diff_inflight.iter().all(Option::is_none)
+                    && st.diff_outbox.iter().all(VecDeque::is_empty)
+            });
+            if drained {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "diff outboxes failed to drain (FTDSM_SEED={:#x})",
+                config.seed
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    // Stop the heartbeat tickers before watching traffic quiesce —
+    // heartbeats never go quiet on their own.
+    ticker_stop.store(true, Ordering::SeqCst);
+    for h in ticker_handles {
+        let _ = h.join();
+    }
 
     // Let in-flight protocol traffic (final diff flushes) quiesce.
     let mut last = fabric.stats().total().msgs_sent;
@@ -280,6 +423,15 @@ where
     for (i, s) in shareds.iter().enumerate() {
         let mut st = s.state.lock();
         shared_bytes = shared_bytes.max(st.shared_bytes);
+        // Fold the member layer's off-big-lock samples and counters in.
+        let member = match st.member.clone() {
+            Some(mr) => {
+                st.hists.heartbeat_rtt.merge(&mr.rtt.lock());
+                st.hists.suspicion_latency.merge(&mr.susp.lock());
+                mr.det.lock().stats()
+            }
+            None => Default::default(),
+        };
         let mut breakdown = st.breakdown_acc;
         breakdown.protocol += st.protocol_time_svc;
         let ft = match st.ft.as_mut() {
@@ -302,6 +454,9 @@ where
             pool: st.pt.pool_stats(),
             svc_time_by_kind,
             msg_kinds: fabric.stats().node(i).kind_counts(),
+            member,
+            retransmits: st.retransmits,
+            dup_suppressed: st.dup_suppressed,
         });
     }
 

@@ -16,14 +16,15 @@
 //! rest: mode, waits, FT logs, recovery state. Lock order is big → sync →
 //! shard; shard locks are leaves.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use dsm_member::{Action as MemberAction, Detector};
 use dsm_net::{Endpoint, Event};
-use dsm_page::{Diff, PageId, ProcId, VectorClock};
-use dsm_trace::{EventKind, LatencyHists, NodeTracer};
+use dsm_page::{Diff, IntervalSeq, PageId, ProcId, VectorClock};
+use dsm_trace::{EventKind, Histogram, LatencyHists, NodeTracer};
 use hlrc::barrier::{Arrival, ArriveOutcome, BarrierManager};
 use hlrc::locks::{AcqReq, LockAction, LockManagerTable};
 use hlrc::{
@@ -74,6 +75,23 @@ pub(crate) const MODE_NORMAL: u8 = 0;
 pub(crate) struct SyncState {
     pub lock_mgr: LockManagerTable,
     pub bar_mgr: Option<BarrierManager>,
+}
+
+/// The membership/failure-detection runtime of one node: the heartbeat
+/// [`Detector`] plus its latency samples, each behind its own small lock so
+/// that the ticker thread and the service thread drive the detector without
+/// ever touching the big state lock (heartbeat processing must not stall
+/// behind a computing application thread, or peers falsely suspect us).
+/// The sample histograms are folded into the node's [`LatencyHists`] at
+/// teardown. Lock order: never hold `det` while taking the big lock is
+/// *allowed* (big → det at the crash path), so action application always
+/// drops the detector guard first.
+pub(crate) struct MemberRuntime {
+    pub det: Mutex<Detector>,
+    /// Heartbeat round-trip samples (ns).
+    pub rtt: Mutex<Histogram>,
+    /// First-suspicion-to-confirmed-down samples (ns).
+    pub susp: Mutex<Histogram>,
 }
 
 /// A prefetch batch entry: one invalidated remote page with a batched
@@ -162,6 +180,13 @@ pub(crate) struct NodeState {
     /// released?). Deterministic local knowledge, reconstructed exactly by
     /// checkpoint restore plus replay — the basis of forward gating.
     pub tenure: HashMap<LockId, (u64, bool)>,
+    /// Grant generation of the latest tenure per lock (the manager-issued
+    /// edge number that granted it). Reported to a recovering manager so
+    /// it can order delivered tenures; checkpointed with `tenure`. Absent
+    /// (treated as 0) only for self-granted replayed tenures, whose
+    /// generation died with the old manager incarnation — an underestimate
+    /// is safe because generations are monotone along the chain.
+    pub tenure_gen: HashMap<LockId, u64>,
     pub last_release_vt: HashMap<LockId, VectorClock>,
     pub pending_grants: HashMap<LockId, Vec<PendingGrant>>,
     /// Highest grant generation this node issued or queued, per lock, with
@@ -205,6 +230,37 @@ pub(crate) struct NodeState {
     pub crash_queue: Vec<u64>,
     pub recoveries: u64,
     pub ep: Arc<Endpoint<Msg>>,
+    /// Membership/failure-detection runtime; `None` keeps orchestrated
+    /// recovery (perfect-knowledge `NodeUp` broadcasts).
+    pub member: Option<Arc<MemberRuntime>>,
+    /// Request/diff retransmission timeout; `Some` switches the retry layer
+    /// on (set together with `member`).
+    pub retry_after: Option<Duration>,
+    /// Requests and diff batches retransmitted after a timeout.
+    pub retransmits: u64,
+    /// Duplicate or stale deliveries suppressed by the idempotency gates
+    /// (grant/release/ack dedup, superseded prefetch replies).
+    pub dup_suppressed: u64,
+    /// Stop-and-wait diff outbox, indexed by home: queued `(seq, batch)`
+    /// pairs, the front one in flight. Keeping at most one unacknowledged
+    /// batch per home preserves first-delivery order under loss and
+    /// reordering — the home's per-writer version gate makes *re*-delivery
+    /// idempotent but would silently discard an older batch arriving after
+    /// a newer one. Unused (empty) when the retry layer is off.
+    pub diff_outbox: Vec<VecDeque<(u64, Vec<Arc<Diff>>)>>,
+    /// Per home: `(seq, last transmission)` of the in-flight batch.
+    pub diff_inflight: Vec<Option<(u64, Instant)>>,
+    /// Last stop-and-wait sequence number issued (0 is reserved for the
+    /// legacy no-ack path).
+    pub diff_seq_next: u64,
+    /// Per page: the interval seq of the last diff *we* published for it.
+    /// With the outbox on, our own diff may still be queued locally when we
+    /// re-fetch the page, and the invalidation-driven `needed` vector only
+    /// covers other writers — so fetches fold this in to keep the home from
+    /// serving a copy that misses our own write (the legacy path gets the
+    /// same guarantee from per-channel FIFO order). Maintained only when the
+    /// retry layer is on; cleared on crash (replay repopulates it).
+    pub own_diff_seq: HashMap<PageId, IntervalSeq>,
     /// Breakdown accumulated across this node's incarnations.
     pub breakdown_acc: crate::stats::Breakdown,
     /// Protocol event tracer (a no-op handle when tracing is disabled).
@@ -295,9 +351,11 @@ impl NodeState {
         if let WaitSlot::Lock { acq_seq, grant, .. } = &mut self.wait {
             if *acq_seq == g.acq_seq && grant.is_none() {
                 *grant = Some(g);
+                return;
             }
         }
         // Anything else is a stale retransmission: drop.
+        self.dup_suppressed += 1;
     }
 
     /// Deposit a barrier release.
@@ -308,8 +366,10 @@ impl NodeState {
         {
             if *episode == r.episode && release.is_none() {
                 *release = Some(r);
+                return;
             }
         }
+        self.dup_suppressed += 1;
     }
 
     /// Deposit a page reply (the shared buffer, never a copy). Returns the
@@ -392,10 +452,252 @@ pub(crate) fn end_interval(st: &mut NodeState) -> (Duration, Duration) {
 
     // One coalesced DiffBatch per remote home: the release-side flush is
     // one message per home regardless of how many pages the interval wrote.
+    // Deterministic order so the piggyback state advances identically on
+    // replay.
+    let mut per_home: Vec<_> = per_home.into_iter().collect();
+    per_home.sort_unstable_by_key(|(home, _)| *home);
     for (home, batch) in per_home {
-        st.send(home, Payload::DiffBatch { diffs: batch });
+        send_diff_batch(st, home, batch);
     }
     (proto, logging)
+}
+
+/// Send one coalesced diff batch to a remote home. With the retry layer on
+/// the batch enters the per-home stop-and-wait outbox; otherwise it goes
+/// straight out with `seq: 0` (no ack — the reliable-fabric hot path is
+/// unchanged).
+pub(crate) fn send_diff_batch(st: &mut NodeState, home: ProcId, batch: Vec<Arc<Diff>>) {
+    if st.retry_after.is_none() {
+        st.send(
+            home,
+            Payload::DiffBatch {
+                seq: 0,
+                diffs: batch,
+            },
+        );
+        return;
+    }
+    st.diff_seq_next += 1;
+    let seq = st.diff_seq_next;
+    for d in &batch {
+        st.own_diff_seq.insert(d.page, d.interval.seq);
+    }
+    st.diff_outbox[home].push_back((seq, batch));
+    pump_diff_outbox(st, home);
+}
+
+/// The `needed` version a fetch of `page` should carry: the accumulated
+/// invalidation vector plus — when the retry layer is on — the seq of our
+/// own last published diff for the page (see [`NodeState::own_diff_seq`]).
+pub(crate) fn fetch_needed(st: &NodeState, page: PageId, mut needed: VectorClock) -> VectorClock {
+    if st.retry_after.is_some() {
+        if let Some(&seq) = st.own_diff_seq.get(&page) {
+            if seq > needed.get(st.me) {
+                needed.set(st.me, seq);
+            }
+        }
+    }
+    needed
+}
+
+/// Transmit the head of `home`'s diff outbox unless a batch is already in
+/// flight there (stop-and-wait: the next batch goes only after the ack).
+pub(crate) fn pump_diff_outbox(st: &mut NodeState, home: ProcId) {
+    if st.diff_inflight[home].is_some() {
+        return;
+    }
+    let Some((seq, batch)) = st.diff_outbox[home].front() else {
+        return;
+    };
+    let (seq, batch) = (*seq, batch.clone());
+    st.diff_inflight[home] = Some((seq, Instant::now()));
+    st.send(home, Payload::DiffBatch { seq, diffs: batch });
+}
+
+/// Retransmit every in-flight diff batch older than the retry timeout
+/// (driven by the membership ticker and by the application thread whenever
+/// one of its own waits times out). Re-delivery is idempotent at the home
+/// (per-writer version gate); the duplicate ack is dropped by seq.
+pub(crate) fn retransmit_stale_diffs(st: &mut NodeState) {
+    let Some(after) = st.retry_after else {
+        return;
+    };
+    for home in 0..st.n {
+        let Some((seq, sent)) = st.diff_inflight[home] else {
+            continue;
+        };
+        if sent.elapsed() < after {
+            continue;
+        }
+        let batch = st.diff_outbox[home]
+            .front()
+            .expect("in-flight batch without an outbox head")
+            .1
+            .clone();
+        st.diff_inflight[home] = Some((seq, Instant::now()));
+        st.retransmits += 1;
+        if st.tracer.enabled() {
+            st.tracer.emit(EventKind::Retransmit {
+                kind: "DiffBatch",
+                to: home,
+            });
+        }
+        st.send(home, Payload::DiffBatch { seq, diffs: batch });
+    }
+}
+
+/// Retransmit whatever request the application thread is blocked on (called
+/// by the wait loop after `retry_after` of silence). Returns 1 when
+/// something was resent. Every receiver path is idempotent under
+/// duplication: requests dedup by `req_id`/`acq_seq`/`episode`, grants
+/// replay from the release log, and installs are version-gated.
+pub(crate) fn retransmit_wait_slot(st: &mut NodeState) -> u64 {
+    let me = st.me;
+    let (to, payload, kind) = match &st.wait {
+        WaitSlot::Page {
+            page,
+            req_id,
+            home,
+            needed,
+            reply: None,
+        } if *home != me => (
+            *home,
+            Payload::PageReq {
+                page: *page,
+                needed: needed.clone(),
+                req_id: *req_id,
+            },
+            "PageReq",
+        ),
+        WaitSlot::Lock {
+            lock,
+            acq_seq,
+            manager,
+            req_vt,
+            grant: None,
+        } if *manager != me => (
+            *manager,
+            Payload::LockAcq {
+                lock: *lock,
+                acq_seq: *acq_seq,
+                vt: req_vt.clone(),
+            },
+            "LockAcq",
+        ),
+        WaitSlot::Lock {
+            lock,
+            acq_seq,
+            req_vt,
+            grant: None,
+            ..
+        } => {
+            // We are the manager: re-run the request through the manager
+            // table, which dedups by `acq_seq` and re-forwards the identical
+            // chain action (the grant then replays from the granter's log).
+            let (lock, acq_seq, vt) = (*lock, *acq_seq, req_vt.clone());
+            st.retransmits += 1;
+            if st.tracer.enabled() {
+                st.tracer.emit(EventKind::Retransmit {
+                    kind: "LockAcq",
+                    to: me,
+                });
+            }
+            let action = st.sync.lock().lock_mgr.on_request(
+                lock,
+                AcqReq {
+                    requester: me,
+                    acq_seq,
+                    vt,
+                },
+            );
+            if let Some(a) = action {
+                dispatch_lock_action(st, a);
+            }
+            return 1;
+        }
+        WaitSlot::Barrier {
+            episode,
+            arrive_vt,
+            own_wns,
+            release: None,
+        } if me != 0 => (
+            0,
+            Payload::BarrierArrive {
+                episode: *episode,
+                vt: arrive_vt.clone(),
+                own_wns: own_wns.clone(),
+            },
+            "BarrierArrive",
+        ),
+        _ => return 0,
+    };
+    st.retransmits += 1;
+    if st.tracer.enabled() {
+        st.tracer.emit(EventKind::Retransmit { kind, to });
+    }
+    st.send(to, payload);
+    1
+}
+
+/// Apply the actions a [`Detector`] produced. Must be called *without*
+/// holding the detector lock (an `Up` action takes the big lock to drive
+/// retransmissions). Sends go out as bare messages — membership traffic
+/// never carries piggybacks and never enters the recovery backlog.
+pub(crate) fn apply_member_actions(
+    shared: &NodeShared,
+    ep: &Endpoint<Msg>,
+    tracer: &NodeTracer,
+    mr: &MemberRuntime,
+    actions: Vec<MemberAction>,
+) {
+    let mut suspects_traced: Vec<usize> = Vec::new();
+    for a in actions {
+        match a {
+            MemberAction::Send { to, msg } => {
+                if tracer.enabled() {
+                    if let dsm_member::Wire::SuspectQuery { about } = msg {
+                        if !suspects_traced.contains(&about) {
+                            suspects_traced.push(about);
+                            tracer.emit(EventKind::Suspect { node: about });
+                        }
+                    }
+                }
+                ep.send(to, Msg::bare(Payload::Member(msg)));
+            }
+            MemberAction::RttSample { ns } => mr.rtt.lock().record(ns),
+            MemberAction::SuspicionLatency { ns } => mr.susp.lock().record(ns),
+            MemberAction::Down { node, .. } => {
+                if tracer.enabled() {
+                    tracer.emit(EventKind::MemberDown { node });
+                }
+            }
+            MemberAction::Up { node, .. } => {
+                if tracer.enabled() {
+                    tracer.emit(EventKind::MemberUp { node });
+                }
+                // The returned peer lost everything in flight to it:
+                // retransmit blocked requests and in-flight prefetch batches
+                // (same path orchestrated `NodeUp` events used to drive),
+                // plus the in-flight diff batch, immediately.
+                let mut st = shared.state.lock();
+                if st.mode == Mode::Normal {
+                    handle_node_up(&mut st, node);
+                    if let Some((seq, _)) = st.diff_inflight[node] {
+                        let batch = st.diff_outbox[node]
+                            .front()
+                            .expect("in-flight batch without an outbox head")
+                            .1
+                            .clone();
+                        st.diff_inflight[node] = Some((seq, Instant::now()));
+                        st.retransmits += 1;
+                        st.send(node, Payload::DiffBatch { seq, diffs: batch });
+                    }
+                }
+                drop(st);
+                shared.cv.notify_all();
+            }
+        }
+    }
 }
 
 /// Answer parked fetches that have become servable.
@@ -578,16 +880,23 @@ pub(crate) fn handle_forward(
                 Some(&(ts, released)) => pred_acq < ts || (pred_acq == ts && released),
             });
     if !grantable {
-        st.pending_grants
-            .entry(lock)
-            .or_default()
-            .push(PendingGrant {
-                requester,
-                acq_seq,
-                gen,
-                pred_acq,
-                req_vt,
-            });
+        // One queued edge per acquisition: a retransmitted forward
+        // replaces (or is subsumed by) the copy already queued, newest
+        // generation winning, so retries can't grow the queue.
+        let q = st.pending_grants.entry(lock).or_default();
+        if q.iter()
+            .any(|pg| pg.requester == requester && pg.acq_seq == acq_seq && pg.gen > gen)
+        {
+            return;
+        }
+        q.retain(|pg| !(pg.requester == requester && pg.acq_seq == acq_seq));
+        q.push(PendingGrant {
+            requester,
+            acq_seq,
+            gen,
+            pred_acq,
+            req_vt,
+        });
         return;
     }
     grant_now(st, lock, requester, acq_seq, gen, req_vt);
@@ -684,18 +993,68 @@ pub(crate) fn barrier_manager_arrive(st: &mut NodeState, arrival: Arrival) {
 }
 
 /// Build the reply to a recovering peer's log-collection handshake.
-fn build_rec_log_reply(st: &NodeState, r: ProcId) -> Payload {
+///
+/// For locks managed by the recovering node this is also the *chain
+/// reset*: queued-but-ungranted forwards are discarded here, so the
+/// recovered manager rebuilds the chain only from acquisitions that
+/// materialized — our own delivered tenures and the grants in our release
+/// log. The discarded edges' requesters are still blocked and re-drive
+/// their acquisition (retry timer under chaos, NodeUp re-send otherwise),
+/// re-entering the chain behind a real tenure. Without the reset, stale
+/// pre-crash edges and the manager's fresh post-crash edges can order the
+/// same two waiters both ways round and deadlock the chain. This leans on
+/// the failure-detection synchrony assumption (max message delay is far
+/// below the detection bound): by the time this handshake runs, no
+/// pre-crash forward is still in flight toward us.
+fn build_rec_log_reply(st: &mut NodeState, r: ProcId) -> Payload {
+    let n = st.n;
+    let managed_by_r = |lock: LockId| lock % n == r;
+    st.pending_grants.retain(|&lock, _| !managed_by_r(lock));
+
     let ft = st.ft.as_ref().expect("recovery handshake without FT");
+    let mut chains: HashMap<LockId, (u64, ProcId, u64, Option<ProcId>)> = HashMap::new();
+    // Our newest delivered tenure per lock the recovering node manages.
+    for (&lock, &(acq, _)) in &st.tenure {
+        if managed_by_r(lock) {
+            let gen = st.tenure_gen.get(&lock).copied().unwrap_or(0);
+            let e = chains.entry(lock).or_insert((gen, st.me, acq, None));
+            if gen >= e.0 {
+                *e = (gen, st.me, acq, None);
+            }
+        }
+    }
+    // The newest grant per lock in our release log: issued, hence
+    // replayable here if its delivery was lost.
+    for (grantee, log) in ft.logs.rel.iter().enumerate() {
+        for entry in log {
+            if managed_by_r(entry.lock) {
+                let e = chains.entry(entry.lock).or_insert((
+                    entry.gen,
+                    grantee,
+                    entry.acq_seq,
+                    Some(st.me),
+                ));
+                if entry.gen >= e.0 {
+                    *e = (entry.gen, grantee, entry.acq_seq, Some(st.me));
+                }
+            }
+        }
+    }
     Payload::RecLogReply {
         wn: ft.logs.wn.clone(),
         rel_for_you: ft.logs.rel[r].clone(),
         acq_mirror: ft.logs.acq[r].clone(),
         bar: ft.logs.bar.clone(),
         bar_mgr: ft.logs.bar_mgr.clone(),
-        lock_chains: st
+        lock_chains: chains
+            .into_iter()
+            .map(|(lock, (gen, grantee, acq, granter))| (lock, gen, grantee, acq, granter))
+            .collect(),
+        gen_floor: st
             .lock_chain_info
             .iter()
-            .map(|(&lock, &(gen, grantee, grantee_acq))| (lock, gen, grantee, grantee_acq))
+            .filter(|(&lock, _)| managed_by_r(lock))
+            .map(|(&lock, &(gen, _, _))| (lock, gen))
             .collect(),
     }
 }
@@ -749,7 +1108,7 @@ fn max_page(payload: &Payload) -> Option<PageId> {
         Payload::PageReq { page, .. }
         | Payload::RecPageReq { page, .. }
         | Payload::RecDiffReq { page } => Some(*page),
-        Payload::DiffBatch { diffs } => diffs.iter().map(|d| d.page).max(),
+        Payload::DiffBatch { diffs, .. } => diffs.iter().map(|d| d.page).max(),
         Payload::PageBatchReq { pages, .. } => pages.iter().map(|(p, _)| *p).max(),
         _ => None,
     }
@@ -770,7 +1129,10 @@ fn install_prefetched(
         Some(e) if e.req_id == req_id => {}
         // A reply from a superseded batch (or none in flight): drop it and
         // keep the entry for the current batch's reply.
-        _ => return,
+        _ => {
+            st.dup_suppressed += 1;
+            return;
+        }
     }
     st.prefetch.remove(&page);
     if st.pt.is_home(page) {
@@ -803,10 +1165,11 @@ pub(crate) fn issue_prefetch(st: &mut NodeState, invalidated: &[PageId]) {
         if m.state != PageState::Invalid {
             continue;
         }
+        let (home, needed) = (m.home, m.needed.clone());
         per_home
-            .entry(m.home)
+            .entry(home)
             .or_default()
-            .push((page, m.needed.clone()));
+            .push((page, fetch_needed(st, page, needed)));
     }
     // Deterministic send order (piggyback state advances per send).
     let mut per_home: Vec<_> = per_home.into_iter().collect();
@@ -871,7 +1234,7 @@ pub(crate) fn handle_msg(st: &mut NodeState, from: ProcId, payload: Payload) {
                 wns,
             });
         }
-        Payload::DiffBatch { diffs } => {
+        Payload::DiffBatch { seq, diffs } => {
             let home = st.pt.home_store();
             let mut ready = Vec::new();
             for d in &diffs {
@@ -890,7 +1253,28 @@ pub(crate) fn handle_msg(st: &mut NodeState, from: ProcId, payload: Payload) {
                 }
             }
             send_ready_fetches(st, ready);
+            // Stop-and-wait ack. The home keeps no per-writer seq state:
+            // it acks whatever arrives (the version gate inside apply_diff
+            // is the dedup), and the writer drops stale acks by seq.
+            if seq != 0 {
+                st.send(from, Payload::DiffAck { seq });
+            }
         }
+        Payload::DiffAck { seq } => match st.diff_inflight[from] {
+            Some((want, _)) if want == seq => {
+                st.diff_inflight[from] = None;
+                st.diff_outbox[from].pop_front();
+                pump_diff_outbox(st, from);
+            }
+            // Duplicate ack of a retransmitted batch, or an ack from a
+            // previous incarnation: drop.
+            _ => st.dup_suppressed += 1,
+        },
+        // Membership traffic is handled off the big lock in the service
+        // loop; one can still land here through a recovery-backlog replay —
+        // by then it is stale, and the detector gets fresher input every
+        // heartbeat period anyway.
+        Payload::Member(_) => {}
         Payload::BarrierArrive {
             episode,
             vt,
@@ -1039,10 +1423,11 @@ pub(crate) fn handle_node_up(st: &mut NodeState, node: ProcId) {
     let mut groups: HashMap<u64, Vec<(PageId, VectorClock)>> = HashMap::new();
     for (&page, e) in &st.prefetch {
         if e.home == node {
+            let needed = st.pt.remote_meta(page).needed.clone();
             groups
                 .entry(e.req_id)
                 .or_default()
-                .push((page, st.pt.remote_meta(page).needed.clone()));
+                .push((page, fetch_needed(st, page, needed)));
         }
     }
     let mut groups: Vec<_> = groups.into_iter().collect();
@@ -1108,6 +1493,7 @@ struct FastCtx {
     mode_flag: Arc<AtomicU8>,
     tracer: NodeTracer,
     me: ProcId,
+    member: Option<Arc<MemberRuntime>>,
 }
 
 /// What the fast path did with a message.
@@ -1169,7 +1555,8 @@ fn try_fast_path(
                 FetchOutcome::NotHome | FetchOutcome::Stale => FastOutcome::Fallback(Box::new(msg)),
             }
         }
-        Payload::DiffBatch { diffs } => {
+        Payload::DiffBatch { seq, diffs } => {
+            let seq = *seq;
             let mut ready = Vec::new();
             for d in diffs {
                 let t0 = Instant::now();
@@ -1215,6 +1602,9 @@ fn try_fast_path(
                         bytes: r.bytes,
                     }),
                 );
+            }
+            if seq != 0 {
+                cx.ep.send(from, Msg::bare(Payload::DiffAck { seq }));
             }
             FastOutcome::Handled { notify: true }
         }
@@ -1378,6 +1768,7 @@ pub(crate) fn service_loop(shared: Arc<NodeShared>) {
             mode_flag: Arc::clone(&st.mode_flag),
             tracer: st.tracer.clone(),
             me: st.me,
+            member: st.member.clone(),
         }
     };
     // Fast-path accounting lives in loop locals (the point is not to touch
@@ -1391,6 +1782,22 @@ pub(crate) fn service_loop(shared: Arc<NodeShared>) {
             Event::Wakeup => {
                 if shared.state.lock().shutdown {
                     break;
+                }
+            }
+            // Membership traffic bypasses both paths: processing it must
+            // not wait on the big lock (the application thread holds it
+            // while computing, and a stalled Pong looks like a dead node to
+            // the peer). A crashed node's input is already cut off at the
+            // fabric; the mode check here just fences the drain race.
+            Event::Msg { from, msg } if matches!(msg.payload, Payload::Member(_)) => {
+                let Payload::Member(w) = msg.payload else {
+                    unreachable!()
+                };
+                if cx.mode_flag.load(Ordering::SeqCst) != Mode::Crashed.flag() {
+                    if let Some(mr) = &cx.member {
+                        let actions = mr.det.lock().on_msg(from, w, Instant::now());
+                        apply_member_actions(&shared, &cx.ep, &cx.tracer, mr, actions);
+                    }
                 }
             }
             Event::Msg { from, msg }
@@ -1455,6 +1862,7 @@ mod tests {
             })),
             held: Default::default(),
             tenure: Default::default(),
+            tenure_gen: Default::default(),
             last_release_vt: Default::default(),
             pending_grants: Default::default(),
             lock_chain_info: Default::default(),
@@ -1478,6 +1886,14 @@ mod tests {
             crash_queue: Vec::new(),
             recoveries: 0,
             ep,
+            member: None,
+            retry_after: None,
+            retransmits: 0,
+            dup_suppressed: 0,
+            diff_outbox: (0..n).map(|_| VecDeque::new()).collect(),
+            diff_inflight: vec![None; n],
+            diff_seq_next: 0,
+            own_diff_seq: HashMap::new(),
             breakdown_acc: Default::default(),
             tracer: NodeTracer::disabled(),
             hists: Default::default(),

@@ -20,8 +20,9 @@ use crate::ft::logs::{BarEntry, RelEntry};
 use crate::ft::recovery::{self, linear_key, ReplayPage};
 use crate::msg::Payload;
 use crate::runtime::node::{
-    apply_pending_home, barrier_manager_arrive, dispatch_lock_action, end_interval, grant_now,
-    issue_prefetch, CrashSignal, GrantData, Mode, NodeShared, NodeState, ReleaseData, WaitSlot,
+    apply_pending_home, barrier_manager_arrive, dispatch_lock_action, end_interval, fetch_needed,
+    grant_now, issue_prefetch, retransmit_stale_diffs, retransmit_wait_slot, CrashSignal,
+    GrantData, Mode, NodeShared, NodeState, ReleaseData, WaitSlot,
 };
 use crate::shareable::Shareable;
 use crate::stats::Breakdown;
@@ -135,23 +136,66 @@ fn begin_op(shared: &NodeShared) -> MutexGuard<'_, NodeState> {
 }
 
 /// Block on the node condition variable until `take` produces a value.
+///
+/// When the node has a retry timeout configured ([`NodeState::retry_after`]),
+/// the blocked request described by [`NodeState::wait`] — and any in-flight
+/// diff batches — are retransmitted each time that timeout elapses without
+/// the wait completing. The check is time-based (elapsed since last send)
+/// rather than wait-timeout-based: unrelated traffic notifies the condvar
+/// constantly, and a notification-reset timer would never fire under load.
 fn wait_until<T>(
     shared: &NodeShared,
     st: &mut MutexGuard<'_, NodeState>,
     mut take: impl FnMut(&mut NodeState) -> Option<T>,
 ) -> T {
     let start = Instant::now();
+    let retry = st.retry_after;
+    let mut retries = 0u64;
+    let mut last_send = Instant::now();
     loop {
         if let Some(v) = take(st) {
+            if retry.is_some() {
+                st.hists.retransmits.record(retries);
+            }
             return v;
         }
-        let r = shared.cv.wait_for(st, Duration::from_millis(200));
+        let slice = match retry {
+            Some(after) => {
+                if last_send.elapsed() >= after {
+                    retries += retransmit_wait_slot(st);
+                    retransmit_stale_diffs(st);
+                    last_send = Instant::now();
+                }
+                after.min(Duration::from_millis(200))
+            }
+            None => Duration::from_millis(200),
+        };
+        let r = shared.cv.wait_for(st, slice);
         if r.timed_out() && start.elapsed() > WAIT_DEADLINE {
             panic!(
                 "node {}: DSM operation blocked for {:?} — deadlock? wait={:?} vt={} held={:?} pending={:?}",
                 shared.me, WAIT_DEADLINE, st.wait, st.vt, st.held, st.pending_grants
             );
         }
+    }
+}
+
+/// Like [`wait_until`] but gives up after `timeout`, returning `None`.
+/// Used for waits on state someone else may abandon (e.g. a prefetch batch
+/// whose reply was dropped by the network) where the caller has a fallback.
+fn wait_until_for<T>(
+    shared: &NodeShared,
+    st: &mut MutexGuard<'_, NodeState>,
+    timeout: Duration,
+    mut take: impl FnMut(&mut NodeState) -> Option<T>,
+) -> Option<T> {
+    let start = Instant::now();
+    loop {
+        if let Some(v) = take(st) {
+            return Some(v);
+        }
+        let left = timeout.checked_sub(start.elapsed())?;
+        shared.cv.wait_for(st, left.min(Duration::from_millis(200)));
     }
 }
 
@@ -377,11 +421,27 @@ impl Process {
                     // or not the install succeeded, so a miss falls through
                     // to the ordinary single-page fetch below.
                     if st.prefetch.contains_key(&page) {
-                        wait_until(&shared, &mut st, |st| {
+                        let covered = |st: &mut NodeState| {
                             (!st.prefetch.contains_key(&page)
                                 || matches!(st.pt.ensure_access(page), AccessOutcome::Ready))
                             .then_some(())
-                        });
+                        };
+                        // With retries enabled the batch reply may have been
+                        // dropped outright; bound the wait and fall back to a
+                        // (retried) single-page fetch. A straggler reply for
+                        // the abandoned entry is dropped by install_prefetched.
+                        match st.retry_after {
+                            Some(after) => {
+                                if wait_until_for(&shared, &mut st, after, covered).is_none() {
+                                    st.prefetch.remove(&page);
+                                    st.hists
+                                        .prefetch_miss
+                                        .record(t0.elapsed().as_nanos() as u64);
+                                    continue;
+                                }
+                            }
+                            None => wait_until(&shared, &mut st, covered),
+                        }
                         if matches!(st.pt.ensure_access(page), AccessOutcome::Ready) {
                             st.hists.prefetch_hit.record(t0.elapsed().as_nanos() as u64);
                             self.breakdown.page_wait += t0.elapsed();
@@ -400,6 +460,7 @@ impl Process {
                             .record(t0.elapsed().as_nanos() as u64);
                         continue;
                     }
+                    let needed = fetch_needed(&st, page, needed);
                     let req_id = st.req_id_next;
                     st.req_id_next += 1;
                     st.wait = WaitSlot::Page {
@@ -664,6 +725,7 @@ impl Process {
             );
         }
         st.tenure.insert(g.lock, (g.acq_seq, false));
+        st.tenure_gen.insert(g.lock, g.gen);
         st.held.insert(g.lock);
     }
 
@@ -671,7 +733,7 @@ impl Process {
         let acq_seq = st.acq_seq_next;
         let replay = st.replay.as_ref().unwrap();
         match replay.rel.get(&acq_seq).cloned() {
-            Some((_, entry)) => {
+            Some((granter, entry)) => {
                 assert_eq!(
                     entry.lock, lock,
                     "replay acquire lock mismatch at acq_seq {acq_seq}"
@@ -684,7 +746,20 @@ impl Process {
                 st.vt.join(&entry.t_after);
                 self.apply_replay_invalidations(st, &pre);
                 st.tenure.insert(lock, (acq_seq, false));
+                st.tenure_gen.insert(lock, entry.gen);
                 st.held.insert(lock);
+                if lock % st.n == self.me {
+                    // We manage this lock: our replayed tenure is a chain
+                    // position the handshake could not report (peers report
+                    // their own tenures and issued grants, not ours).
+                    st.sync.lock().lock_mgr.restore_chain(
+                        lock,
+                        entry.gen,
+                        self.me,
+                        acq_seq,
+                        Some(granter),
+                    );
+                }
                 apply_pending_home(st);
                 true
             }
@@ -717,16 +792,26 @@ impl Process {
                 st.held.insert(lock);
                 if lock % st.n == self.me {
                     // We also manage this lock: our self-grant proves we
-                    // were the chain tail *at this tenure*. Claim the tail
-                    // only if the handshake restored no newer grant — a
-                    // peer tail means the chain moved past us before the
-                    // crash (the grant that made us tail is reported by
-                    // its granter, so a peer tail is a newer generation)
-                    // and stomping it would let our post-recovery acquire
-                    // self-grant without the peers' write notices.
+                    // were the chain tail *at this tenure*. A self-grant's
+                    // generation died with the old manager incarnation, but
+                    // the run of consecutive self-granted tenures extends
+                    // back to our newest peer-granted tenure (generation
+                    // `tenure_gen`), and any tenure after the run was
+                    // granted *by us* — restored from our mirrored release
+                    // log with its real, higher generation. So a restored
+                    // tail newer than `tenure_gen` means the chain moved
+                    // past the run (claiming the tail would let our
+                    // post-recovery acquire self-grant without the peers'
+                    // write notices); anything else is stale and the run's
+                    // end is the true tail.
                     let me = self.me;
+                    let g_run = st.tenure_gen.get(&lock).copied().unwrap_or(0);
                     let mut sync = st.sync.lock();
-                    if sync.lock_mgr.tail_of(lock).is_none_or(|t| t == me) {
+                    let moved_past = sync
+                        .lock_mgr
+                        .tail_gen_of(lock)
+                        .is_some_and(|g| g > g_run && sync.lock_mgr.tail_of(lock) != Some(me));
+                    if !moved_past {
                         sync.lock_mgr.force_tail(lock, me, acq_seq);
                     }
                     drop(sync);

@@ -8,6 +8,7 @@
 
 use std::time::Duration;
 
+use dsm_member::MemberStats;
 use dsm_net::stats::TrafficSnapshot;
 use dsm_page::PoolStats;
 use dsm_storage::StoreStats;
@@ -106,6 +107,14 @@ pub struct NodeReport {
     pub svc_time_by_kind: Vec<(&'static str, Duration)>,
     /// Messages sent by this node per payload kind (sorted by kind name).
     pub msg_kinds: Vec<(&'static str, u64)>,
+    /// Membership/failure-detection counters (zeroed when membership is off).
+    pub member: MemberStats,
+    /// Request retransmissions issued by this node (page/lock/barrier/diff
+    /// traffic resent after the retry timeout; zero when retries are off).
+    pub retransmits: u64,
+    /// Duplicate deliveries this node detected and suppressed (re-granted
+    /// locks, re-delivered pages, stale diff acks, mismatched prefetches).
+    pub dup_suppressed: u64,
 }
 
 /// The result of a cluster run.
@@ -187,6 +196,29 @@ impl<R> RunReport<R> {
             }
         }
         acc.into_iter().collect()
+    }
+
+    /// All nodes' membership counters folded together.
+    pub fn total_member(&self) -> MemberStats {
+        let mut acc = MemberStats::default();
+        for n in &self.nodes {
+            acc.suspicions += n.member.suspicions;
+            acc.false_suspicions += n.member.false_suspicions;
+            acc.down_events += n.member.down_events;
+            acc.up_events += n.member.up_events;
+            acc.pings_sent += n.member.pings_sent;
+        }
+        acc
+    }
+
+    /// Total request retransmissions across the cluster.
+    pub fn total_retransmits(&self) -> u64 {
+        self.nodes.iter().map(|n| n.retransmits).sum()
+    }
+
+    /// Total suppressed duplicate deliveries across the cluster.
+    pub fn total_dup_suppressed(&self) -> u64 {
+        self.nodes.iter().map(|n| n.dup_suppressed).sum()
     }
 
     /// All nodes' per-kind sent-message counts folded together.

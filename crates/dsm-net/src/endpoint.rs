@@ -1,12 +1,15 @@
 //! Endpoints and the fabric connecting them.
 
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dsm_trace::{EventKind, NodeTracer};
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 
+use crate::chaos::{ChaosState, Fate, FaultPlan};
 use crate::stats::FabricStats;
 
 /// Index of a node in the cluster, `0..n`.
@@ -63,6 +66,104 @@ struct FabricShared<M> {
     status: RwLock<Vec<NodeStatus>>,
     senders: Vec<Sender<Event<M>>>,
     stats: FabricStats,
+    /// Fast-path gate: false means no chaos plan and no partition, so
+    /// [`Endpoint::send`] skips all injection checks.
+    chaos_on: AtomicBool,
+    chaos: RwLock<Option<ChaosState>>,
+    /// Partition group per node; empty = fully connected. Messages whose
+    /// endpoints sit in different groups are silently lost.
+    partition: RwLock<Vec<u32>>,
+    pump: Mutex<Option<Arc<PumpShared<M>>>>,
+    pump_seq: AtomicU64,
+}
+
+impl<M> FabricShared<M> {
+    fn refresh_chaos_gate(&self) {
+        let on = self.chaos.read().is_some() || !self.partition.read().is_empty();
+        self.chaos_on.store(on, Ordering::Release);
+    }
+}
+
+/// A message parked in the delivery pump, due at `due`. Min-heap order by
+/// `(due, seq)`; `seq` keeps ties FIFO.
+struct Delayed<M> {
+    due: Instant,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+}
+
+impl<M> PartialEq for Delayed<M> {
+    fn eq(&self, o: &Self) -> bool {
+        self.due == o.due && self.seq == o.seq
+    }
+}
+impl<M> Eq for Delayed<M> {}
+impl<M> PartialOrd for Delayed<M> {
+    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl<M> Ord for Delayed<M> {
+    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest due first.
+        o.due.cmp(&self.due).then(o.seq.cmp(&self.seq))
+    }
+}
+
+/// Shared state of the delivery pump thread (delayed/reordered messages).
+struct PumpShared<M> {
+    q: Mutex<BinaryHeap<Delayed<M>>>,
+    cv: Condvar,
+}
+
+/// How often the pump re-checks fabric liveness while idle; also the upper
+/// bound on how long the thread outlives a dropped fabric.
+const PUMP_POLL: Duration = Duration::from_millis(25);
+
+fn spawn_pump<M: Send + WireSized + 'static>(shared: &Arc<FabricShared<M>>) -> Arc<PumpShared<M>> {
+    let mut slot = shared.pump.lock();
+    if let Some(ps) = slot.as_ref() {
+        return Arc::clone(ps);
+    }
+    let ps = Arc::new(PumpShared {
+        q: Mutex::new(BinaryHeap::new()),
+        cv: Condvar::new(),
+    });
+    *slot = Some(Arc::clone(&ps));
+    let weak = Arc::downgrade(shared);
+    let pump = Arc::clone(&ps);
+    std::thread::Builder::new()
+        .name("dsm-chaos-pump".into())
+        .spawn(move || loop {
+            let Some(shared) = weak.upgrade() else { break };
+            let mut q = pump.q.lock();
+            let now = Instant::now();
+            while q.peek().is_some_and(|d| d.due <= now) {
+                let d = q.pop().unwrap();
+                if shared.status.read()[d.to] == NodeStatus::Crashed {
+                    shared.stats.node(d.from).record_drop();
+                } else {
+                    let _ = shared.senders[d.to].send(Event::Msg {
+                        from: d.from,
+                        msg: d.msg,
+                    });
+                }
+            }
+            let wait = q
+                .peek()
+                .map(|d| {
+                    d.due
+                        .saturating_duration_since(Instant::now())
+                        .min(PUMP_POLL)
+                })
+                .unwrap_or(PUMP_POLL);
+            drop(shared); // don't keep the fabric alive while parked
+            pump.cv.wait_for(&mut q, wait);
+        })
+        .expect("spawn chaos pump");
+    Arc::clone(&ps)
 }
 
 /// Builder/handle for a simulated cluster interconnect of `n` nodes.
@@ -87,6 +188,11 @@ impl<M: Send + WireSized> Fabric<M> {
             status: RwLock::new(vec![NodeStatus::Up; n]),
             senders,
             stats: FabricStats::new(n),
+            chaos_on: AtomicBool::new(false),
+            chaos: RwLock::new(None),
+            partition: RwLock::new(Vec::new()),
+            pump: Mutex::new(None),
+            pump_seq: AtomicU64::new(0),
         });
         let endpoints = receivers
             .into_iter()
@@ -135,16 +241,68 @@ impl<M: Send + WireSized> Fabric<M> {
     /// Restart `node` after a crash and notify every *other* node with
     /// [`Event::NodeUp`] so blocked requesters retransmit.
     pub fn restart(&self, node: NodeId) {
-        {
-            let mut st = self.shared.status.write();
-            assert_eq!(st[node], NodeStatus::Crashed, "node {node} is not crashed");
-            st[node] = NodeStatus::Up;
-        }
+        self.restart_silent(node);
         for (peer, tx) in self.shared.senders.iter().enumerate() {
             if peer != node {
                 let _ = tx.send(Event::NodeUp { node });
             }
         }
+    }
+
+    /// Restart `node` after a crash *without* telling anyone: peers must
+    /// discover the restart themselves (heartbeat incarnation bumps in the
+    /// membership layer). This is the restart used when failure detection
+    /// is on — the orchestrated [`Fabric::restart`] broadcast would be
+    /// perfect-knowledge cheating.
+    pub fn restart_silent(&self, node: NodeId) {
+        let mut st = self.shared.status.write();
+        assert_eq!(st[node], NodeStatus::Crashed, "node {node} is not crashed");
+        st[node] = NodeStatus::Up;
+    }
+
+    /// Split the cluster: nodes in different groups can no longer exchange
+    /// messages (sends are silently lost and counted). Every node must
+    /// appear in exactly one group. [`Fabric::heal`] reconnects.
+    pub fn partition(&self, groups: &[&[NodeId]]) {
+        let mut assign = vec![u32::MAX; self.n];
+        for (g, members) in groups.iter().enumerate() {
+            for &m in *members {
+                assert_eq!(assign[m], u32::MAX, "node {m} listed in two groups");
+                assign[m] = g as u32;
+            }
+        }
+        assert!(
+            assign.iter().all(|&g| g != u32::MAX),
+            "every node must be in a partition group"
+        );
+        *self.shared.partition.write() = assign;
+        self.shared.refresh_chaos_gate();
+    }
+
+    /// Remove an active partition; all links work again.
+    pub fn heal(&self) {
+        self.shared.partition.write().clear();
+        self.shared.refresh_chaos_gate();
+    }
+
+    /// Attach a seeded fault plan; all subsequent sends are subject to it.
+    /// Replaces any previous plan (RNG streams restart from the seed).
+    pub fn set_fault_plan(&self, plan: &FaultPlan)
+    where
+        M: 'static,
+    {
+        if plan.needs_pump() {
+            spawn_pump(&self.shared);
+        }
+        *self.shared.chaos.write() = Some(ChaosState::new(plan, self.n));
+        self.shared.refresh_chaos_gate();
+    }
+
+    /// Detach the fault plan; delivery is reliable again (already-delayed
+    /// messages still arrive).
+    pub fn clear_fault_plan(&self) {
+        *self.shared.chaos.write() = None;
+        self.shared.refresh_chaos_gate();
     }
 }
 
@@ -166,7 +324,7 @@ pub struct Endpoint<M> {
     tracer: NodeTracer,
 }
 
-impl<M: Send + WireSized> Endpoint<M> {
+impl<M: Send + Clone + WireSized> Endpoint<M> {
     /// This endpoint's node id.
     pub fn id(&self) -> NodeId {
         self.id
@@ -195,10 +353,12 @@ impl<M: Send + WireSized> Endpoint<M> {
         self.n
     }
 
-    /// Send `msg` to `to`. Delivery is reliable and FIFO per sender-receiver
-    /// pair unless the destination is crashed, in which case the message is
-    /// dropped (and counted). Returns `true` when the message was delivered
-    /// to the destination queue.
+    /// Send `msg` to `to`. Without a fault plan, delivery is reliable and
+    /// FIFO per sender-receiver pair unless the destination is crashed, in
+    /// which case the message is dropped (and counted) and `false` is
+    /// returned. Under a fault plan or partition the message may be lost,
+    /// duplicated, delayed or reordered; the sender can't tell (`true` is
+    /// still returned — a real NIC doesn't know the network ate its packet).
     pub fn send(&self, to: NodeId, msg: M) -> bool {
         assert_ne!(to, self.id, "self-sends are a protocol bug");
         let traffic = self.shared.stats.node(self.id);
@@ -214,11 +374,65 @@ impl<M: Send + WireSized> Endpoint<M> {
                 bytes: (msg.base_wire_size() + msg.ft_wire_size()) as u32,
             });
         }
+        if self.shared.chaos_on.load(Ordering::Acquire) {
+            {
+                let part = self.shared.partition.read();
+                if !part.is_empty() && part[self.id] != part[to] {
+                    traffic.record_partition_block();
+                    return true;
+                }
+            }
+            let fate = match self.shared.chaos.read().as_ref() {
+                Some(c) => c.decide(self.id, to, msg.kind_name()),
+                None => Fate::Deliver,
+            };
+            match fate {
+                Fate::Deliver => {}
+                Fate::Drop => {
+                    traffic.record_chaos_drop();
+                    return true;
+                }
+                Fate::Dup { detour } => {
+                    // Deliver now; the extra copy takes a detour so it can
+                    // arrive out of order.
+                    traffic.record_chaos_dup();
+                    self.push_delayed(to, msg.clone(), detour);
+                }
+                Fate::Delay { by } => {
+                    traffic.record_chaos_delay();
+                    self.push_delayed(to, msg, by);
+                    return true;
+                }
+            }
+        }
         // Unbounded channel: send only fails if the receiver was dropped,
         // which only happens at cluster teardown.
         self.shared.senders[to]
             .send(Event::Msg { from: self.id, msg })
             .is_ok()
+    }
+
+    /// Park `msg` in the delivery pump until `by` elapses. Falls back to
+    /// immediate delivery if no pump is running (a plan whose rules need one
+    /// always starts it).
+    fn push_delayed(&self, to: NodeId, msg: M, by: Duration) {
+        let pump = self.shared.pump.lock().as_ref().map(Arc::clone);
+        match pump {
+            Some(ps) => {
+                let d = Delayed {
+                    due: Instant::now() + by,
+                    seq: self.shared.pump_seq.fetch_add(1, Ordering::Relaxed),
+                    from: self.id,
+                    to,
+                    msg,
+                };
+                ps.q.lock().push(d);
+                ps.cv.notify_one();
+            }
+            None => {
+                let _ = self.shared.senders[to].send(Event::Msg { from: self.id, msg });
+            }
+        }
     }
 
     /// Post an [`Event::Wakeup`] to *this* endpoint's own queue, nudging a
@@ -380,5 +594,151 @@ mod tests {
         let (fabric, _eps) = Fabric::<TestMsg>::new(2);
         fabric.crash(0);
         fabric.crash(0);
+    }
+
+    #[test]
+    fn restart_silent_skips_node_up() {
+        let (fabric, eps) = Fabric::<TestMsg>::new(3);
+        fabric.crash(2);
+        fabric.restart_silent(2);
+        assert!(eps[0].try_recv().is_none());
+        assert!(eps[1].try_recv().is_none());
+        assert!(eps[0].send(2, TestMsg(5, 1, 0)));
+        assert!(matches!(eps[2].recv(), Some(Event::Msg { from: 0, .. })));
+    }
+
+    #[test]
+    fn chaos_drop_loses_messages_and_counts_them() {
+        use crate::chaos::{FaultPlan, FaultRule};
+        let (fabric, eps) = Fabric::<TestMsg>::new(2);
+        fabric.set_fault_plan(&FaultPlan::new(7).with_rule(FaultRule::all().dropping(1.0)));
+        // The sender can't tell: send still reports success.
+        assert!(eps[0].send(1, TestMsg(1, 10, 0)));
+        assert!(eps[1].try_recv().is_none());
+        assert_eq!(fabric.stats().node(0).snapshot().chaos_dropped, 1);
+        // Clearing the plan restores reliable delivery.
+        fabric.clear_fault_plan();
+        eps[0].send(1, TestMsg(2, 10, 0));
+        assert!(matches!(eps[1].recv(), Some(Event::Msg { .. })));
+    }
+
+    #[test]
+    fn chaos_dup_delivers_twice() {
+        use crate::chaos::{FaultPlan, FaultRule};
+        let (fabric, eps) = Fabric::<TestMsg>::new(2);
+        fabric.set_fault_plan(&FaultPlan::new(7).with_rule(FaultRule::all().duplicating(1.0)));
+        eps[0].send(1, TestMsg(1, 10, 0));
+        let a = eps[1].recv_timeout(Duration::from_secs(2));
+        let b = eps[1].recv_timeout(Duration::from_secs(2));
+        let want = Event::Msg {
+            from: 0,
+            msg: TestMsg(1, 10, 0),
+        };
+        assert_eq!(a, Some(want.clone()));
+        assert_eq!(b, Some(want));
+        assert_eq!(fabric.stats().node(0).snapshot().chaos_duplicated, 1);
+        // One send was charged, not two.
+        assert_eq!(fabric.stats().node(0).snapshot().msgs_sent, 1);
+    }
+
+    #[test]
+    fn chaos_delay_still_delivers() {
+        use crate::chaos::{FaultPlan, FaultRule};
+        let (fabric, eps) = Fabric::<TestMsg>::new(2);
+        fabric.set_fault_plan(&FaultPlan::new(7).with_rule(FaultRule::all().delaying(
+            1.0,
+            Duration::from_millis(1),
+            Duration::from_millis(5),
+        )));
+        eps[0].send(1, TestMsg(9, 10, 0));
+        // Nothing immediately (the message is parked in the pump)…
+        assert!(eps[1].try_recv().is_none());
+        // …but it arrives once the delay elapses.
+        assert_eq!(
+            eps[1].recv_timeout(Duration::from_secs(2)),
+            Some(Event::Msg {
+                from: 0,
+                msg: TestMsg(9, 10, 0)
+            })
+        );
+        assert_eq!(fabric.stats().node(0).snapshot().chaos_delayed, 1);
+    }
+
+    #[test]
+    fn delayed_messages_can_reorder() {
+        use crate::chaos::{FaultPlan, FaultRule};
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        struct Kinded(u32, &'static str);
+        impl WireSized for Kinded {
+            fn base_wire_size(&self) -> usize {
+                4
+            }
+            fn kind_name(&self) -> &'static str {
+                self.1
+            }
+        }
+        let (fabric, eps) = Fabric::<Kinded>::new(2);
+        // Delay only the "slow" kind; a later undelayed message overtakes it.
+        fabric.set_fault_plan(&FaultPlan::new(7).with_rule(
+            FaultRule::all().of_kind("slow").delaying(
+                1.0,
+                Duration::from_millis(20),
+                Duration::from_millis(30),
+            ),
+        ));
+        eps[0].send(1, Kinded(1, "slow"));
+        eps[0].send(1, Kinded(2, "fast"));
+        let first = eps[1].recv_timeout(Duration::from_secs(2)).unwrap();
+        let second = eps[1].recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(
+            first,
+            Event::Msg {
+                from: 0,
+                msg: Kinded(2, "fast")
+            }
+        );
+        assert_eq!(
+            second,
+            Event::Msg {
+                from: 0,
+                msg: Kinded(1, "slow")
+            }
+        );
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_until_heal() {
+        let (fabric, eps) = Fabric::<TestMsg>::new(4);
+        fabric.partition(&[&[0, 1], &[2, 3]]);
+        assert!(eps[0].send(2, TestMsg(1, 10, 0))); // silently lost
+        assert!(eps[0].send(1, TestMsg(2, 10, 0))); // same side: delivered
+        assert!(eps[2].try_recv().is_none());
+        assert!(matches!(eps[1].recv(), Some(Event::Msg { .. })));
+        assert_eq!(fabric.stats().node(0).snapshot().partition_blocked, 1);
+        fabric.heal();
+        eps[0].send(2, TestMsg(3, 10, 0));
+        assert!(matches!(eps[2].recv(), Some(Event::Msg { .. })));
+    }
+
+    #[test]
+    fn chaos_off_costs_nothing_for_delivery_semantics() {
+        // A plan with all-zero probabilities behaves exactly like no plan.
+        use crate::chaos::{FaultPlan, FaultRule};
+        let (fabric, eps) = Fabric::<TestMsg>::new(2);
+        fabric.set_fault_plan(&FaultPlan::new(1).with_rule(FaultRule::all()));
+        for i in 0..100 {
+            eps[0].send(1, TestMsg(i, 1, 0));
+        }
+        for i in 0..100 {
+            assert_eq!(
+                eps[1].recv(),
+                Some(Event::Msg {
+                    from: 0,
+                    msg: TestMsg(i, 1, 0)
+                })
+            );
+        }
+        let s = fabric.stats().node(0).snapshot();
+        assert_eq!(s.chaos_dropped + s.chaos_delayed + s.chaos_duplicated, 0);
     }
 }

@@ -18,8 +18,15 @@
 //!   into base-protocol bytes and fault-tolerance control (piggyback) bytes
 //!   — the measurements behind Table 2 of the paper.
 
+//! * Deterministic fault injection: a seeded [`FaultPlan`] attached with
+//!   [`Fabric::set_fault_plan`] drops, delays, duplicates and reorders
+//!   messages per `(src, dst, kind)`; [`Fabric::partition`] /
+//!   [`Fabric::heal`] model dynamic network partitions. See [`chaos`].
+
+pub mod chaos;
 pub mod endpoint;
 pub mod stats;
 
+pub use chaos::{FaultPlan, FaultRule};
 pub use endpoint::{Endpoint, Event, Fabric, NodeId, NodeStatus, WireSized};
 pub use stats::{FabricStats, NodeTraffic};

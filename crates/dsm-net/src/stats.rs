@@ -20,6 +20,14 @@ pub struct NodeTraffic {
     pub ft_bytes_sent: AtomicU64,
     /// Messages dropped because the destination had crashed.
     pub msgs_dropped: AtomicU64,
+    /// Messages lost by chaos injection (the [`crate::FaultPlan`]).
+    pub chaos_dropped: AtomicU64,
+    /// Messages delayed or reordered by chaos injection.
+    pub chaos_delayed: AtomicU64,
+    /// Messages duplicated by chaos injection (count of extra copies).
+    pub chaos_duplicated: AtomicU64,
+    /// Messages blocked by an active network partition.
+    pub partition_blocked: AtomicU64,
     /// Sent-message counts by message kind. A handful of kinds exist, so a
     /// linear list under a mutex beats a hash map here.
     kinds: Mutex<Vec<(&'static str, u64)>>,
@@ -42,6 +50,22 @@ impl NodeTraffic {
         self.msgs_dropped.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_chaos_drop(&self) {
+        self.chaos_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_chaos_delay(&self) {
+        self.chaos_delayed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_chaos_dup(&self) {
+        self.chaos_duplicated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_partition_block(&self) {
+        self.partition_blocked.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Sent-message counts per message kind, sorted by kind name.
     pub fn kind_counts(&self) -> Vec<(&'static str, u64)> {
         let mut v = self.kinds.lock().clone();
@@ -56,6 +80,10 @@ impl NodeTraffic {
             base_bytes_sent: self.base_bytes_sent.load(Ordering::Relaxed),
             ft_bytes_sent: self.ft_bytes_sent.load(Ordering::Relaxed),
             msgs_dropped: self.msgs_dropped.load(Ordering::Relaxed),
+            chaos_dropped: self.chaos_dropped.load(Ordering::Relaxed),
+            chaos_delayed: self.chaos_delayed.load(Ordering::Relaxed),
+            chaos_duplicated: self.chaos_duplicated.load(Ordering::Relaxed),
+            partition_blocked: self.partition_blocked.load(Ordering::Relaxed),
         }
     }
 }
@@ -71,6 +99,14 @@ pub struct TrafficSnapshot {
     pub ft_bytes_sent: u64,
     /// Messages dropped because the destination had crashed.
     pub msgs_dropped: u64,
+    /// Messages lost by chaos injection.
+    pub chaos_dropped: u64,
+    /// Messages delayed or reordered by chaos injection.
+    pub chaos_delayed: u64,
+    /// Extra message copies delivered by chaos injection.
+    pub chaos_duplicated: u64,
+    /// Messages blocked by an active network partition.
+    pub partition_blocked: u64,
 }
 
 impl TrafficSnapshot {
@@ -93,6 +129,10 @@ impl std::ops::Add for TrafficSnapshot {
             base_bytes_sent: self.base_bytes_sent + o.base_bytes_sent,
             ft_bytes_sent: self.ft_bytes_sent + o.ft_bytes_sent,
             msgs_dropped: self.msgs_dropped + o.msgs_dropped,
+            chaos_dropped: self.chaos_dropped + o.chaos_dropped,
+            chaos_delayed: self.chaos_delayed + o.chaos_delayed,
+            chaos_duplicated: self.chaos_duplicated + o.chaos_duplicated,
+            partition_blocked: self.partition_blocked + o.partition_blocked,
         }
     }
 }

@@ -25,4 +25,4 @@ pub use addr::{GlobalAddr, Layout, PageId};
 pub use diff::{Diff, DiffRun, DiffScratch};
 pub use page::{Page, PAGE_ALIGN_WORD};
 pub use pool::{PagePool, PoolStats};
-pub use version::{elementwise_min, Interval, ProcId, VectorClock};
+pub use version::{elementwise_min, Interval, IntervalSeq, ProcId, VectorClock};

@@ -157,11 +157,19 @@ pub struct LatencyHists {
     /// First touch whose prefetch was dropped or stale (wait until the miss
     /// was detected; the fault then falls back to its own `PageReq`).
     pub prefetch_miss: Histogram,
+    /// Heartbeat round-trip time (ping sent to matching pong received).
+    pub heartbeat_rtt: Histogram,
+    /// Failure-detection latency: first suspicion of a peer to its
+    /// confirmed `Down`.
+    pub suspicion_latency: Histogram,
+    /// Retransmissions per completed wait (a counter, in retries: 0 =
+    /// answered first time). Only recorded when the retry layer is on.
+    pub retransmits: Histogram,
 }
 
 impl LatencyHists {
     /// (label, histogram) pairs in print order.
-    pub fn named(&self) -> [(&'static str, &Histogram); 14] {
+    pub fn named(&self) -> [(&'static str, &Histogram); 17] {
         [
             ("page_fetch", &self.page_fetch),
             ("lock_wait", &self.lock_wait),
@@ -177,6 +185,9 @@ impl LatencyHists {
             ("shard_lock_wait", &self.shard_lock_wait),
             ("prefetch_hit", &self.prefetch_hit),
             ("prefetch_miss", &self.prefetch_miss),
+            ("heartbeat_rtt", &self.heartbeat_rtt),
+            ("suspicion_latency", &self.suspicion_latency),
+            ("retransmits", &self.retransmits),
         ]
     }
 
@@ -196,6 +207,9 @@ impl LatencyHists {
         self.shard_lock_wait.merge(&other.shard_lock_wait);
         self.prefetch_hit.merge(&other.prefetch_hit);
         self.prefetch_miss.merge(&other.prefetch_miss);
+        self.heartbeat_rtt.merge(&other.heartbeat_rtt);
+        self.suspicion_latency.merge(&other.suspicion_latency);
+        self.retransmits.merge(&other.retransmits);
     }
 }
 

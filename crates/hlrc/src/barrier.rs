@@ -115,7 +115,15 @@ impl BarrierManager {
                 .last
                 .as_ref()
                 .expect("re-arrival with no completed episode");
-            assert_eq!(a.episode, last.episode, "re-arrival for ancient episode");
+            if a.episode < last.episode {
+                // A duplicated or long-delayed arrival for an episode older
+                // than the last completed one. That episode completed, which
+                // required this node's arrival — so the sender has already
+                // crossed it and this copy is stale. A node genuinely blocked
+                // at an ancient episode is impossible: every later episode's
+                // completion required its arrival too.
+                return ArriveOutcome::Pending;
+            }
             let wns = missing_wns(&last.all_wns, &last.arrival_vts[a.proc]);
             let mut per_proc_wns = vec![Vec::new(); self.n];
             per_proc_wns[a.proc] = wns;

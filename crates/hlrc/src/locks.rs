@@ -69,6 +69,15 @@ struct ManagedLock {
     tail_acq: u64,
     /// Next grant generation.
     gen_next: u64,
+    /// The node that granted (or was forwarded) the tail's tenure — i.e.
+    /// the `grant_from` of the edge that made `tail` the tail. A recovered
+    /// manager restores this from the granter's release log, which lets it
+    /// replay a grant whose delivery was lost: if the tail itself
+    /// retransmits the acquisition that made it tail, the manager
+    /// re-forwards to this granter instead of chaining the request behind
+    /// its own (never completed) tenure. `None` when the edge's origin is
+    /// unknown (tenure-derived restore, self-grant).
+    tail_granter: Option<ProcId>,
     /// Per-requester last forward, kept for crash retransmission. Replaced
     /// when the same requester issues a newer acquisition.
     pending: HashMap<ProcId, PendingFwd>,
@@ -108,6 +117,7 @@ impl LockManagerTable {
             tail_gen: 0,
             tail_acq: u64::MAX,
             gen_next: 1,
+            tail_granter: None,
             pending: HashMap::new(),
         });
         match ml.pending.get(&req.requester) {
@@ -124,6 +134,42 @@ impl LockManagerTable {
             }
             Some(p) if p.acq_seq > req.acq_seq => None, // stale duplicate
             _ => {
+                if ml.tail == req.requester && ml.tail_acq == req.acq_seq {
+                    // The tail retransmits the very acquisition that made
+                    // it the tail, and we have no pending record of it:
+                    // this manager recovered from a crash, restored the
+                    // tail from peer reports, and the original grant's
+                    // delivery was lost. Chaining the request behind the
+                    // tail's own tenure would deadlock it on itself. If
+                    // the restoring report named the granter (the grant is
+                    // in its release log), re-forward there: the granter
+                    // replays the identical grant. Otherwise the tail came
+                    // from a *delivered* tenure, whose owner never
+                    // retransmits it — fall through and chain normally.
+                    if let Some(granter) = ml.tail_granter {
+                        if granter != req.requester {
+                            let gen = ml.tail_gen;
+                            ml.pending.insert(
+                                req.requester,
+                                PendingFwd {
+                                    acq_seq: req.acq_seq,
+                                    forwarded_to: granter,
+                                    gen,
+                                    // The granter replays from its release
+                                    // log; the predecessor test never runs.
+                                    pred_acq: u64::MAX,
+                                },
+                            );
+                            return Some(LockAction {
+                                lock,
+                                grant_from: granter,
+                                gen,
+                                pred_acq: u64::MAX,
+                                req,
+                            });
+                        }
+                    }
+                }
                 let grant_from = ml.tail;
                 let pred_acq = ml.tail_acq;
                 let gen = ml.gen_next;
@@ -131,6 +177,7 @@ impl LockManagerTable {
                 ml.tail = req.requester;
                 ml.tail_gen = gen;
                 ml.tail_acq = req.acq_seq;
+                ml.tail_granter = Some(grant_from);
                 ml.pending.insert(
                     req.requester,
                     PendingFwd {
@@ -180,28 +227,74 @@ impl LockManagerTable {
         out
     }
 
-    /// Manager recovery: restore a lock's chain from the highest grant
-    /// generation reported by peers (the grantee of the newest issued or
-    /// queued grant is the chain tail).
-    pub fn restore_chain(&mut self, lock: LockId, gen: u64, tail: ProcId, tail_acq: u64) {
+    /// Manager recovery: restore a lock's chain from the highest-generation
+    /// *materialized* acquisition reported by peers — a tenure the grantee
+    /// actually entered, or a grant present in its granter's release log.
+    /// Queued-but-undelivered chain edges are discarded at recovery (the
+    /// peers drop them when serving the log handshake) and must NOT be
+    /// offered here: their requesters re-drive the request and are chained
+    /// fresh. `granter` is the node whose release log holds the grant
+    /// (`None` for a tenure report, where no replayable record exists).
+    pub fn restore_chain(
+        &mut self,
+        lock: LockId,
+        gen: u64,
+        tail: ProcId,
+        tail_acq: u64,
+        granter: Option<ProcId>,
+    ) {
         let ml = self.locks.entry(lock).or_insert_with(|| ManagedLock {
             tail,
             tail_gen: gen,
             tail_acq,
             gen_next: gen + 1,
+            tail_granter: granter,
             pending: HashMap::new(),
         });
         if gen + 1 > ml.gen_next {
             ml.gen_next = gen + 1;
+        }
+        if gen >= ml.tail_gen {
             ml.tail = tail;
             ml.tail_gen = gen;
             ml.tail_acq = tail_acq;
+            ml.tail_granter = granter;
+        }
+    }
+
+    /// Manager recovery: raise a lock's next grant generation above `gen`
+    /// without touching the tail. Applied from peers' highest *seen*
+    /// generations (including queued edges that the recovery discarded),
+    /// so fresh post-recovery edges always outrank every pre-crash one.
+    pub fn bound_gen(&mut self, lock: LockId, gen: u64) {
+        if let Some(ml) = self.locks.get_mut(&lock) {
+            if gen + 1 > ml.gen_next {
+                ml.gen_next = gen + 1;
+            }
+        } else {
+            let me = self.me;
+            self.locks.insert(
+                lock,
+                ManagedLock {
+                    tail: me,
+                    tail_gen: 0,
+                    tail_acq: u64::MAX,
+                    gen_next: gen + 1,
+                    tail_granter: None,
+                    pending: HashMap::new(),
+                },
+            );
         }
     }
 
     /// Current chain tail of a managed lock, if any request has been seen.
     pub fn tail_of(&self, lock: LockId) -> Option<ProcId> {
         self.locks.get(&lock).map(|ml| ml.tail)
+    }
+
+    /// Generation of the grant that made the current tail the tail.
+    pub fn tail_gen_of(&self, lock: LockId) -> Option<u64> {
+        self.locks.get(&lock).map(|ml| ml.tail_gen)
     }
 
     /// Recovery: the recovering manager replayed a self-granted tenure of a
@@ -216,12 +309,19 @@ impl LockManagerTable {
             tail_gen: 0,
             tail_acq,
             gen_next: 1,
+            tail_granter: None,
             pending: HashMap::new(),
         });
+        // Never regress our own tail: a restored tail naming the same node
+        // at a newer acquisition already covers this tenure.
+        if ml.tail == tail && ml.tail_acq != u64::MAX && ml.tail_acq >= tail_acq {
+            return;
+        }
         ml.tail = tail;
         ml.tail_acq = tail_acq;
         ml.tail_gen = ml.gen_next;
         ml.gen_next += 1;
+        ml.tail_granter = None;
     }
 
     /// Number of locks with state.
@@ -301,6 +401,59 @@ mod tests {
         assert_eq!(redo[0].req.requester, 2);
         assert_eq!(redo[0].req.acq_seq, 0);
         assert!(m.on_node_up(9).is_empty());
+    }
+
+    #[test]
+    fn tail_retransmission_replays_from_restored_granter() {
+        // A recovered manager restored the tail from granter 3's release
+        // log: node 1's acquisition 4 (gen 7) was issued by 3 but its
+        // delivery was lost. 1 retransmits; the manager must re-forward to
+        // 3 (which replays the grant), not chain 1 behind its own never-
+        // completed tenure.
+        let mut m = LockManagerTable::new(0);
+        m.restore_chain(5, 7, 1, 4, Some(3));
+        let a = m.on_request(5, req(1, 4)).unwrap();
+        assert_eq!(a.grant_from, 3);
+        assert_eq!(a.gen, 7);
+        assert_eq!(a.pred_acq, u64::MAX);
+        // The chain did not advance: a new requester chains behind 1.
+        let b = m.on_request(5, req(2, 0)).unwrap();
+        assert_eq!(b.grant_from, 1);
+        assert_eq!(b.pred_acq, 4);
+    }
+
+    #[test]
+    fn tenure_restored_tail_requesting_again_chains_normally() {
+        // Tail restored from a delivered-tenure report (no granter): the
+        // owner's *next* acquisition chains behind that tenure.
+        let mut m = LockManagerTable::new(0);
+        m.restore_chain(5, 7, 1, 4, None);
+        let a = m.on_request(5, req(1, 5)).unwrap();
+        assert_eq!(a.grant_from, 1);
+        assert_eq!(a.pred_acq, 4);
+        assert_eq!(a.gen, 8);
+    }
+
+    #[test]
+    fn bound_gen_outranks_discarded_edges_without_moving_tail() {
+        let mut m = LockManagerTable::new(0);
+        m.restore_chain(5, 3, 2, 1, None);
+        m.bound_gen(5, 9); // a queued gen-9 edge was discarded at recovery
+        assert_eq!(m.tail_of(5), Some(2));
+        assert_eq!(m.tail_gen_of(5), Some(3));
+        let a = m.on_request(5, req(3, 0)).unwrap();
+        assert_eq!(a.gen, 10, "fresh edges must outrank discarded ones");
+        assert_eq!(a.grant_from, 2);
+    }
+
+    #[test]
+    fn restore_keeps_the_newest_materialized_acquisition() {
+        let mut m = LockManagerTable::new(0);
+        m.restore_chain(5, 4, 2, 1, Some(1));
+        m.restore_chain(5, 7, 3, 2, None);
+        m.restore_chain(5, 6, 1, 9, Some(2));
+        assert_eq!(m.tail_of(5), Some(3));
+        assert_eq!(m.tail_gen_of(5), Some(7));
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Chaos-fabric and membership integration tests: the cluster must produce
+//! byte-identical results on a lossy, reordering, duplicating network, and
+//! must detect injected crashes through heartbeats alone (no orchestrator
+//! hint), recovering from its own detection.
+//!
+//! Every run is driven by one seed. Failures echo it; reproduce with
+//! `FTDSM_SEED=<seed> cargo test --test chaos <name>`.
+
+use std::time::Duration;
+
+use ftdsm_suite::apps::{water_nsq, WaterNsqParams};
+use ftdsm_suite::{
+    run, seed_from_env, CkptPolicy, ClusterConfig, FailureSpec, FaultPlan, FaultRule, HomeAlloc,
+    Process,
+};
+
+const NODES: usize = 4;
+
+fn cfg() -> ClusterConfig {
+    ClusterConfig::fault_tolerant(NODES)
+        .with_page_size(512)
+        .with_policy(CkptPolicy::LogOverflow { l: 0.2 })
+}
+
+fn splitmix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Reference workload exercising every install/apply path: page fetches,
+/// diff batches (lock and barrier flushes), lock grants with write notices,
+/// barrier releases, and prefetch batches.
+fn app(p: &mut Process) -> u64 {
+    let n = p.nodes();
+    let data = p.alloc_vec::<u64>(96, HomeAlloc::Interleaved);
+    let counter = p.alloc_vec::<u64>(1, HomeAlloc::Node(1));
+    let mut state = 0u64;
+    p.run_steps(&mut state, 6, |p, state, step| {
+        p.acquire(5);
+        let v = counter.get(p, 0);
+        counter.set(p, 0, v + 1);
+        p.release(5);
+        let me = p.me();
+        for i in 0..96 {
+            if i % n == me {
+                let v = data.get(p, i);
+                data.set(p, i, v.wrapping_mul(31).wrapping_add(step + i as u64));
+            }
+        }
+        *state = state.wrapping_add(step);
+        p.barrier();
+    });
+    p.barrier();
+    let mut acc = counter.get(p, 0);
+    for i in 0..96 {
+        acc = acc.rotate_left(9) ^ data.get(p, i);
+    }
+    acc.wrapping_add(state)
+}
+
+/// Membership alone (reliable fabric): heartbeats must flow and nobody may
+/// ever be suspected.
+#[test]
+fn quiet_cluster_has_no_false_suspicions() {
+    let seed = seed_from_env();
+    let report = run(
+        cfg().with_seed(seed).with_membership(Default::default()),
+        &[],
+        app,
+    );
+    let clean = run(cfg().with_seed(seed), &[], app);
+    assert_eq!(
+        report.results, clean.results,
+        "membership changed results (FTDSM_SEED={seed:#x})"
+    );
+    let m = report.total_member();
+    assert!(
+        m.pings_sent > 0,
+        "no heartbeats sent (FTDSM_SEED={seed:#x})"
+    );
+    assert_eq!(
+        m.suspicions, 0,
+        "healthy node suspected on a reliable fabric (FTDSM_SEED={seed:#x})"
+    );
+    assert_eq!(m.down_events, 0, "FTDSM_SEED={seed:#x}");
+}
+
+/// The acceptance bar: a fixed-seed lossy fabric (drops, delays, duplicates,
+/// reorders — no crash) must leave a SPLASH FT kernel byte-identical to the
+/// reliable run.
+#[test]
+fn lossy_fabric_splash_kernel_is_byte_identical() {
+    let seed = seed_from_env();
+    let params = WaterNsqParams::tiny();
+    let p0 = params.clone();
+    let clean = run(cfg().with_seed(seed), &[], move |p| water_nsq(p, &p0));
+    let p1 = params.clone();
+    let chaotic = run(
+        cfg().with_seed(seed).with_chaos(FaultPlan::lossy(0)),
+        &[],
+        move |p| water_nsq(p, &p1),
+    );
+    assert_eq!(
+        clean.results, chaotic.results,
+        "lossy run diverged (FTDSM_SEED={seed:#x})"
+    );
+    assert_eq!(
+        clean.shared_hash, chaotic.shared_hash,
+        "lossy run memory diverged (FTDSM_SEED={seed:#x})"
+    );
+    let t = chaotic.total_traffic();
+    assert!(
+        t.chaos_dropped + t.chaos_delayed + t.chaos_duplicated > 0,
+        "chaos plan injected nothing (FTDSM_SEED={seed:#x})"
+    );
+}
+
+/// Idempotency property: under a duplicate+reorder-only plan (nothing is
+/// ever lost, but everything may arrive twice and out of order), every
+/// install/apply path — page install, diff batch, lock grant, barrier
+/// release — must converge to the reliable run's memory image. Swept across
+/// seeds derived from the run seed.
+#[test]
+fn dup_reorder_delivery_is_idempotent() {
+    let base = seed_from_env();
+    let clean = run(cfg().with_seed(base), &[], app);
+    let mut s = base;
+    let mut dups_seen = 0u64;
+    for case in 0..4 {
+        let seed = splitmix(&mut s);
+        let plan = FaultPlan::new(0).with_rule(
+            FaultRule::all()
+                .duplicating(0.25)
+                .reordering(0.25)
+                .delaying(0.5, Duration::from_micros(50), Duration::from_millis(2)),
+        );
+        let chaotic = run(cfg().with_seed(seed).with_chaos(plan), &[], app);
+        assert_eq!(
+            clean.results, chaotic.results,
+            "case {case}: dup+reorder diverged (FTDSM_SEED={seed:#x})"
+        );
+        assert_eq!(
+            clean.shared_hash, chaotic.shared_hash,
+            "case {case}: memory diverged (FTDSM_SEED={seed:#x})"
+        );
+        let t = chaotic.total_traffic();
+        assert!(
+            t.chaos_duplicated > 0,
+            "case {case}: plan duplicated nothing (FTDSM_SEED={seed:#x})"
+        );
+        dups_seen += chaotic.total_dup_suppressed();
+    }
+    assert!(
+        dups_seen > 0,
+        "no duplicate delivery was ever suppressed across the sweep (FTDSM_SEED={base:#x})"
+    );
+}
+
+/// Self-detected recovery: a node crashes with no orchestrator announcement;
+/// peers must notice the silence via heartbeats (suspicions observed), mark
+/// it down, and the recovered incarnation must rejoin and finish with the
+/// reliable run's exact results.
+#[test]
+fn crash_is_detected_by_heartbeats_alone() {
+    let seed = seed_from_env();
+    let clean = run(cfg().with_seed(seed), &[], app);
+    let mut s = seed;
+    for case in 0..3 {
+        let victim = (splitmix(&mut s) % NODES as u64) as usize;
+        let at_op = 20 + splitmix(&mut s) % 400;
+        let crashed = run(
+            cfg().with_seed(seed).with_membership(Default::default()),
+            &[FailureSpec {
+                node: victim,
+                at_op,
+            }],
+            app,
+        );
+        assert_eq!(
+            clean.results, crashed.results,
+            "case {case}: results diverge (victim {victim}, op {at_op}, FTDSM_SEED={seed:#x})"
+        );
+        assert_eq!(
+            clean.shared_hash, crashed.shared_hash,
+            "case {case}: memory diverges (victim {victim}, op {at_op}, FTDSM_SEED={seed:#x})"
+        );
+        assert_eq!(
+            crashed.nodes[victim].ft.recoveries, 1,
+            "case {case}: crash did not fire (victim {victim}, op {at_op}, FTDSM_SEED={seed:#x})"
+        );
+        let m = crashed.total_member();
+        assert!(
+            m.suspicions > 0,
+            "case {case}: nobody suspected the dead node (victim {victim}, op {at_op}, \
+             FTDSM_SEED={seed:#x})"
+        );
+        assert!(
+            m.down_events > 0,
+            "case {case}: suspicion never confirmed to Down (victim {victim}, op {at_op}, \
+             FTDSM_SEED={seed:#x})"
+        );
+        assert!(
+            m.up_events > 0,
+            "case {case}: recovered incarnation never marked Up (victim {victim}, op {at_op}, \
+             FTDSM_SEED={seed:#x})"
+        );
+    }
+}
+
+/// Crash during chaos: loss + delay + a real fail-stop crash, detection and
+/// recovery driven entirely by the membership layer. Iteration count is
+/// env-tunable (`FTDSM_STRESS_ITERS`) for long soak runs; CI uses the small
+/// default.
+#[test]
+fn crash_during_chaos_stress() {
+    let iters: u64 = std::env::var("FTDSM_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let base = seed_from_env();
+    let clean = run(cfg().with_seed(base), &[], app);
+    let mut s = base;
+    for case in 0..iters {
+        let seed = splitmix(&mut s);
+        let victim = (splitmix(&mut s) % NODES as u64) as usize;
+        let at_op = 20 + splitmix(&mut s) % 400;
+        eprintln!("case {case}: FTDSM_SEED={seed:#x} victim={victim} at_op={at_op}");
+        let crashed = run(
+            cfg().with_seed(seed).with_chaos(FaultPlan::lossy(0)),
+            &[FailureSpec {
+                node: victim,
+                at_op,
+            }],
+            app,
+        );
+        assert_eq!(
+            clean.results, crashed.results,
+            "case {case}: results diverge (victim {victim}, op {at_op}, FTDSM_SEED={seed:#x})"
+        );
+        assert_eq!(
+            clean.shared_hash, crashed.shared_hash,
+            "case {case}: memory diverges (victim {victim}, op {at_op}, FTDSM_SEED={seed:#x})"
+        );
+        assert_eq!(
+            crashed.nodes[victim].ft.recoveries, 1,
+            "case {case}: crash did not fire (victim {victim}, op {at_op}, FTDSM_SEED={seed:#x})"
+        );
+    }
+}
+
+/// A partition that heals: the minority side must be suspected (possibly
+/// even declared down) and then rescinded or re-admitted, and the run must
+/// still finish with correct results.
+#[test]
+fn partition_then_heal_converges() {
+    let seed = seed_from_env();
+    let plan = FaultPlan::new(0).with_rule(FaultRule::all().dropping(0.02).delaying(
+        0.05,
+        Duration::from_micros(100),
+        Duration::from_millis(1),
+    ));
+    let clean = run(cfg().with_seed(seed), &[], app);
+    let chaotic = run(cfg().with_seed(seed).with_chaos(plan), &[], app);
+    assert_eq!(
+        clean.results, chaotic.results,
+        "lossy run diverged (FTDSM_SEED={seed:#x})"
+    );
+    assert_eq!(
+        clean.shared_hash, chaotic.shared_hash,
+        "lossy run memory diverged (FTDSM_SEED={seed:#x})"
+    );
+}

@@ -6,9 +6,12 @@
 //! Uses a fixed seeded sweep rather than proptest shrinking (each case is a
 //! pair of full multi-threaded cluster runs, so cases are expensive and
 //! shrinking adds nothing: the case is already just (victim, op)).
+//!
+//! The sweep derives from the cluster seed: set `FTDSM_SEED` to reproduce
+//! a failing case (every assertion echoes the seed it ran with).
 
 use ftdsm_suite::apps::{water_nsq, WaterNsqParams};
-use ftdsm_suite::{run, CkptPolicy, ClusterConfig, FailureSpec, HomeAlloc, Process};
+use ftdsm_suite::{run, seed_from_env, CkptPolicy, ClusterConfig, FailureSpec, HomeAlloc, Process};
 
 const NODES: usize = 4;
 
@@ -61,7 +64,8 @@ fn any_single_failure_point_recovers_exactly() {
     let clean = run(cfg(0.1), &[], app);
     // The op space: the workload performs ~450 ops per node; sweep seeded
     // random (victim, op) pairs across the whole execution.
-    let mut seed = 0xC0FFEE_u64;
+    let base = seed_from_env();
+    let mut seed = base ^ 0xC0FFEE;
     for case in 0..10 {
         let victim = (splitmix(&mut seed) % NODES as u64) as usize;
         let at_op = 20 + splitmix(&mut seed) % 420;
@@ -75,15 +79,15 @@ fn any_single_failure_point_recovers_exactly() {
         );
         assert_eq!(
             clean.results, crashed.results,
-            "case {case}: results diverge (victim {victim}, op {at_op})"
+            "case {case}: results diverge (victim {victim}, op {at_op}, FTDSM_SEED={base:#x})"
         );
         assert_eq!(
             clean.shared_hash, crashed.shared_hash,
-            "case {case}: memory diverges (victim {victim}, op {at_op})"
+            "case {case}: memory diverges (victim {victim}, op {at_op}, FTDSM_SEED={base:#x})"
         );
         assert_eq!(
             crashed.nodes[victim].ft.recoveries, 1,
-            "case {case}: crash did not fire (victim {victim}, op {at_op})"
+            "case {case}: crash did not fire (victim {victim}, op {at_op}, FTDSM_SEED={base:#x})"
         );
     }
 }
@@ -93,7 +97,8 @@ fn recovery_holds_under_a_real_workload_sweep() {
     let params = WaterNsqParams::tiny();
     let p0 = params.clone();
     let clean = run(cfg(0.2), &[], move |p| water_nsq(p, &p0));
-    let mut seed = 0xBEEF_u64;
+    let base = seed_from_env();
+    let mut seed = base ^ 0xBEEF;
     for case in 0..4 {
         let victim = (splitmix(&mut seed) % NODES as u64) as usize;
         let at_op = 50 + splitmix(&mut seed) % 500;
@@ -108,8 +113,11 @@ fn recovery_holds_under_a_real_workload_sweep() {
         );
         assert_eq!(
             clean.results, crashed.results,
-            "case {case}: (victim {victim}, op {at_op})"
+            "case {case}: (victim {victim}, op {at_op}, FTDSM_SEED={base:#x})"
         );
-        assert_eq!(clean.shared_hash, crashed.shared_hash, "case {case}");
+        assert_eq!(
+            clean.shared_hash, crashed.shared_hash,
+            "case {case}: (victim {victim}, op {at_op}, FTDSM_SEED={base:#x})"
+        );
     }
 }
