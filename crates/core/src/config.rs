@@ -1,5 +1,8 @@
 //! Cluster and fault-tolerance configuration.
 
+use std::path::PathBuf;
+use std::time::Duration;
+
 use dsm_member::MemberConfig;
 use dsm_net::FaultPlan;
 use dsm_storage::DiskModel;
@@ -116,6 +119,52 @@ pub struct ClusterConfig {
     /// timeout-retry layer. `None` (the default) keeps the original
     /// orchestrated-recovery behavior with a reliable fabric.
     pub membership: Option<MemberConfig>,
+    /// Run the online protocol-invariant monitor against the live event
+    /// stream. Forces tracing on (the monitor is an event sink); the run
+    /// panics at collection time on the first violation, with the offending
+    /// causal flow attached.
+    pub monitor: bool,
+    /// Periodic metrics sampling during the run. `None` still registers the
+    /// metrics handles (they are a handful of atomics); it just skips the
+    /// sampler thread. Defaults to the `FTDSM_METRICS_EVERY_MS` /
+    /// `FTDSM_METRICS_OUT` environment variables.
+    pub metrics: Option<MetricsConfig>,
+    /// Test-only: after the first diff-batch apply on a home node, re-emit
+    /// the apply event with its already-applied interval, simulating a stale
+    /// (duplicate) apply. Exists so tests can prove the invariant monitor
+    /// catches real protocol bugs; never set outside tests.
+    pub inject_stale_apply: bool,
+}
+
+/// Periodic metrics sampling configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsConfig {
+    /// Sampling period.
+    pub every: Duration,
+    /// Where to append JSONL snapshots (one object per sample). A sibling
+    /// `.prom` file with the final Prometheus exposition is written next to
+    /// it. `None` keeps the series in memory only (returned in the report).
+    pub out: Option<PathBuf>,
+}
+
+impl MetricsConfig {
+    /// Read the sampling config from `FTDSM_METRICS_EVERY_MS` (period in
+    /// milliseconds; absent or 0 disables sampling) and `FTDSM_METRICS_OUT`
+    /// (optional JSONL path).
+    pub fn from_env() -> Option<Self> {
+        let ms: u64 = std::env::var("FTDSM_METRICS_EVERY_MS")
+            .ok()?
+            .trim()
+            .parse()
+            .ok()?;
+        if ms == 0 {
+            return None;
+        }
+        Some(MetricsConfig {
+            every: Duration::from_millis(ms),
+            out: std::env::var("FTDSM_METRICS_OUT").ok().map(PathBuf::from),
+        })
+    }
 }
 
 impl ClusterConfig {
@@ -130,6 +179,9 @@ impl ClusterConfig {
             seed: seed_from_env(),
             chaos: None,
             membership: None,
+            monitor: false,
+            metrics: MetricsConfig::from_env(),
+            inject_stale_apply: false,
         }
     }
 
@@ -145,6 +197,9 @@ impl ClusterConfig {
             seed: seed_from_env(),
             chaos: None,
             membership: None,
+            monitor: false,
+            metrics: MetricsConfig::from_env(),
+            inject_stale_apply: false,
         }
     }
 
@@ -200,6 +255,22 @@ impl ClusterConfig {
     /// Enable heartbeat membership / failure detection with `cfg`.
     pub fn with_membership(mut self, cfg: MemberConfig) -> Self {
         self.membership = Some(cfg);
+        self
+    }
+
+    /// Enable (or disable) the online protocol-invariant monitor. Enabling
+    /// it forces tracing on — the monitor consumes the live event stream.
+    pub fn with_monitor(mut self, on: bool) -> Self {
+        self.monitor = on;
+        if on && !self.trace.enabled {
+            self.trace = TraceConfig::enabled();
+        }
+        self
+    }
+
+    /// Enable periodic metrics sampling.
+    pub fn with_metrics(mut self, m: MetricsConfig) -> Self {
+        self.metrics = Some(m);
         self
     }
 

@@ -34,19 +34,23 @@
 
 pub mod config;
 pub mod ft;
+pub mod monitor;
 pub mod msg;
 pub mod runtime;
 pub mod shareable;
 pub mod stats;
 pub mod wire;
 
-pub use config::{seed_from_env, CkptPolicy, ClusterConfig, FailureSpec, FtConfig, HomeAlloc};
+pub use config::{
+    seed_from_env, CkptPolicy, ClusterConfig, FailureSpec, FtConfig, HomeAlloc, MetricsConfig,
+};
 pub use dsm_member::{MemberConfig, MemberStats};
 pub use dsm_net::{FaultPlan, FaultRule};
 pub use dsm_page::{GlobalAddr, PageId};
 pub use dsm_storage::{DiskMode, DiskModel};
 pub use dsm_trace::{Trace, TraceConfig};
 pub use hlrc::LockId;
+pub use monitor::{Monitor, MonitorReport, Violation};
 pub use runtime::{run, AppState, Process, SharedVec};
 pub use shareable::Shareable;
 pub use stats::{Breakdown, FtReport, NodeReport, RunReport};

@@ -7,6 +7,7 @@
 use std::sync::Arc;
 
 use dsm_page::{Diff, PageId, ProcId, VectorClock};
+use dsm_trace::TraceCtx;
 use hlrc::{LockId, WriteNotice};
 
 use crate::ft::logs::{BarEntry, DiffLogEntry, MgrBarEntry, RelEntry, WnLogEntry};
@@ -333,13 +334,19 @@ impl Payload {
     }
 }
 
-/// A protocol message: payload plus optional FT piggyback.
+/// A protocol message: payload plus optional FT piggyback plus the causal
+/// trace context every message carries on the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Msg {
     /// The base-protocol payload.
     pub payload: Payload,
     /// LLT/CGC control data (present when fault tolerance is enabled).
     pub piggy: Option<Piggy>,
+    /// Causal trace context. Constructed unstamped; the endpoint stamps
+    /// origin/seq/timestamp at send time, preserving any parent flow the
+    /// sender set. Charged [`TraceCtx::WIRE_SIZE`] bytes unconditionally so
+    /// byte accounting never depends on whether tracing is on.
+    pub ctx: TraceCtx,
 }
 
 impl Msg {
@@ -348,19 +355,61 @@ impl Msg {
         Msg {
             payload,
             piggy: None,
+            ctx: TraceCtx::NONE,
+        }
+    }
+
+    /// A bare message sent in service of the flow `parent` (a reply, a
+    /// forward, or any other message caused by handling `parent`).
+    pub fn reply_to(payload: Payload, parent: u64) -> Self {
+        Msg {
+            payload,
+            piggy: None,
+            ctx: TraceCtx {
+                parent,
+                ..TraceCtx::NONE
+            },
+        }
+    }
+
+    /// A message with piggyback, parented on `parent` (0 for none).
+    pub fn with_parent(payload: Payload, piggy: Option<Piggy>, parent: u64) -> Self {
+        Msg {
+            payload,
+            piggy,
+            ctx: TraceCtx {
+                parent,
+                ..TraceCtx::NONE
+            },
         }
     }
 }
 
 impl dsm_net::WireSized for Msg {
     fn base_wire_size(&self) -> usize {
-        1 + self.payload.wire_size()
+        1 + TraceCtx::WIRE_SIZE + self.payload.wire_size()
     }
     fn ft_wire_size(&self) -> usize {
         self.piggy.as_ref().map_or(0, |p| p.wire_size())
     }
     fn kind_name(&self) -> &'static str {
         self.payload.kind()
+    }
+    fn stamp_send(&mut self, origin: u32, seq: u64, now_ns: u64) {
+        self.ctx.origin = origin;
+        self.ctx.seq = seq;
+        self.ctx.sent_at_ns = now_ns;
+    }
+    fn add_chaos_delay(&mut self, ns: u64) {
+        self.ctx.chaos_delay_ns += ns;
+    }
+    fn trace_view(&self) -> (u64, u64, u64, u64) {
+        (
+            self.ctx.flow_id(),
+            self.ctx.parent,
+            self.ctx.sent_at_ns,
+            self.ctx.chaos_delay_ns,
+        )
     }
 }
 
@@ -378,7 +427,7 @@ mod tests {
             bytes: vec![0; 4096].into(),
         });
         assert!(m.base_wire_size() > 4096);
-        assert!(m.base_wire_size() < 4096 + 64);
+        assert!(m.base_wire_size() < 4096 + 64 + TraceCtx::WIRE_SIZE);
         assert_eq!(m.ft_wire_size(), 0);
     }
 
@@ -394,8 +443,10 @@ mod tests {
         let m = Msg {
             payload: Payload::RecLogReq,
             piggy: Some(piggy.clone()),
+            ctx: TraceCtx::NONE,
         };
-        assert_eq!(m.base_wire_size(), 2);
+        // 1 kind byte + 1 payload byte + the 16-byte trace context.
+        assert_eq!(m.base_wire_size(), 2 + TraceCtx::WIRE_SIZE);
         assert_eq!(m.ft_wire_size(), piggy.wire_size());
         assert_eq!(piggy.wire_size(), 32 + 16 + 16 + 20 + 32);
     }

@@ -7,16 +7,18 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dsm_member::{Detector, MemberConfig};
+use dsm_metrics::Registry;
 use dsm_net::Fabric;
 use dsm_page::VectorClock;
 use dsm_storage::StableStore;
-use dsm_trace::{Histogram, Trace};
+use dsm_trace::{EventSink, Histogram, Trace, TraceConfig};
 use hlrc::barrier::BarrierManager;
 use hlrc::{LockManagerTable, PageTable, WnTable};
 use parking_lot::{Condvar, Mutex};
 
 use crate::config::{ClusterConfig, FailureSpec};
 use crate::ft::FtState;
+use crate::monitor::Monitor;
 use crate::msg::Msg;
 use crate::runtime::node::{
     apply_member_actions, retransmit_stale_diffs, service_loop, CrashSignal, MemberRuntime, Mode,
@@ -38,8 +40,69 @@ fn install_crash_hook() {
             }
             default(info);
             dsm_trace::dump_flight_recorders("panic");
+            dsm_metrics::dump_on_panic();
         }));
     });
+}
+
+/// Sample the cluster's live counters into the registry and snapshot it.
+/// Never blocks on a contended lock — the sampler must not perturb the run
+/// (a skipped node is re-sampled next period).
+fn sample_metrics(
+    reg: &Registry,
+    fabric: &Fabric<Msg>,
+    shareds: &[Arc<NodeShared>],
+) -> dsm_metrics::Snapshot {
+    let t = fabric.stats().total();
+    reg.counter("fabric_msgs_sent_total").store(t.msgs_sent);
+    reg.counter("fabric_base_bytes_sent_total")
+        .store(t.base_bytes_sent);
+    reg.counter("fabric_ft_bytes_sent_total")
+        .store(t.ft_bytes_sent);
+    reg.counter("fabric_msgs_dropped_total")
+        .store(t.msgs_dropped);
+    reg.counter("fabric_chaos_dropped_total")
+        .store(t.chaos_dropped);
+    reg.counter("fabric_chaos_delayed_total")
+        .store(t.chaos_delayed);
+    reg.counter("fabric_chaos_duplicated_total")
+        .store(t.chaos_duplicated);
+    reg.counter("fabric_partition_blocked_total")
+        .store(t.partition_blocked);
+    for s in shareds {
+        if let Some(st) = s.state.try_lock() {
+            let me = st.me;
+            reg.gauge(&format!("node_recoveries{{node=\"{me}\"}}"))
+                .set(st.recoveries as i64);
+            reg.gauge(&format!("node_retransmits{{node=\"{me}\"}}"))
+                .set(st.retransmits as i64);
+            reg.gauge(&format!("node_dup_suppressed{{node=\"{me}\"}}"))
+                .set(st.dup_suppressed as i64);
+            reg.gauge(&format!("node_diff_outbox_depth{{node=\"{me}\"}}"))
+                .set(st.diff_outbox.iter().map(VecDeque::len).sum::<usize>() as i64);
+            let pool = st.pt.pool_stats();
+            reg.counter(&format!("pool_hits_total{{node=\"{me}\"}}"))
+                .store(pool.hits);
+            reg.counter(&format!("pool_misses_total{{node=\"{me}\"}}"))
+                .store(pool.misses);
+            reg.counter(&format!("pool_recycled_total{{node=\"{me}\"}}"))
+                .store(pool.recycled);
+            if let Some(mr) = &st.member {
+                if let Some(det) = mr.det.try_lock() {
+                    let ms = det.stats();
+                    reg.counter(&format!("member_suspicions_total{{node=\"{me}\"}}"))
+                        .store(ms.suspicions);
+                    reg.counter(&format!("member_down_events_total{{node=\"{me}\"}}"))
+                        .store(ms.down_events);
+                    reg.counter(&format!("member_up_events_total{{node=\"{me}\"}}"))
+                        .store(ms.up_events);
+                    reg.counter(&format!("member_pings_sent_total{{node=\"{me}\"}}"))
+                        .store(ms.pings_sent);
+                }
+            }
+        }
+    }
+    reg.snapshot()
 }
 
 /// Run an SPMD application on a simulated cluster.
@@ -62,10 +125,26 @@ where
         );
     }
 
-    let trace = Trace::new(n, &config.trace);
+    // The monitor is an event sink: it needs the stream, so it forces
+    // tracing on even if the config left it off.
+    let trace_cfg = if config.monitor && !config.trace.enabled {
+        TraceConfig::enabled()
+    } else {
+        config.trace.clone()
+    };
+    let trace = Trace::new(n, &trace_cfg);
     if trace.is_enabled() {
         trace.register_flight_recorder();
     }
+    let monitor: Option<Arc<Monitor>> = config.monitor.then(|| Arc::new(Monitor::new(n)));
+    if let Some(m) = &monitor {
+        trace.set_sink(Some(Arc::clone(m) as Arc<dyn EventSink>));
+    }
+    let metrics_registry = Registry::new();
+    metrics_registry.register_flight_recorder();
+    let inject_stale_apply = config
+        .inject_stale_apply
+        .then(|| Arc::new(AtomicBool::new(true)));
     // Chaos auto-enables membership: the heartbeat/retry layer is what makes
     // a lossy fabric survivable.
     let membership: Option<MemberConfig> = config
@@ -149,6 +228,8 @@ where
             breakdown_acc: Default::default(),
             tracer: trace.tracer(i),
             hists: Default::default(),
+            cur_flow: 0,
+            inject_stale_apply: inject_stale_apply.clone(),
         };
         shareds.push(Arc::new(NodeShared {
             state: Mutex::new(state),
@@ -218,6 +299,40 @@ where
             })
             .collect(),
     };
+
+    // Periodic metrics sampler: one thread, snapshots every `every` into an
+    // in-memory series (and a JSONL file when configured). A final snapshot
+    // is always taken at teardown, so even a short run reports metrics.
+    let metrics_stop = Arc::new(AtomicBool::new(false));
+    let metrics_series = Arc::new(Mutex::new(dsm_metrics::TimeSeries::new()));
+    let metrics_handle = config.metrics.clone().map(|mcfg| {
+        let reg = metrics_registry.clone();
+        let fabric = fabric.clone();
+        let shareds = shareds.clone();
+        let stop = Arc::clone(&metrics_stop);
+        let series = Arc::clone(&metrics_series);
+        std::thread::Builder::new()
+            .name("dsm-metrics".into())
+            .spawn(move || {
+                use std::io::Write;
+                let mut out = mcfg.out.as_ref().and_then(|p| {
+                    std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(p)
+                        .ok()
+                });
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(mcfg.every);
+                    let snap = sample_metrics(&reg, &fabric, &shareds);
+                    if let Some(f) = out.as_mut() {
+                        let _ = writeln!(f, "{}", snap.to_jsonl());
+                    }
+                    series.lock().push(snap);
+                }
+            })
+            .expect("spawn metrics sampler")
+    });
 
     let app = Arc::new(app);
     let active_recoveries = Arc::new(AtomicUsize::new(0));
@@ -393,6 +508,52 @@ where
         let _ = h.join();
     }
 
+    // Stop the metrics sampler and take the closing snapshot.
+    metrics_stop.store(true, Ordering::SeqCst);
+    if let Some(h) = metrics_handle {
+        let _ = h.join();
+    }
+    let final_snap = sample_metrics(&metrics_registry, &fabric, &shareds);
+    let mut metrics = metrics_series.lock().clone();
+    if let Some(mcfg) = &config.metrics {
+        if let Some(path) = &mcfg.out {
+            use std::io::Write;
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(f, "{}", final_snap.to_jsonl());
+            }
+            // Final state in Prometheus exposition format next to the JSONL.
+            let _ = std::fs::write(path.with_extension("prom"), final_snap.to_prometheus());
+        }
+    }
+    metrics.push(final_snap);
+
+    // The monitor's verdict: fail the run loudly on the first violation,
+    // with the offending causal flow stitched from the trace.
+    let monitor_report = monitor.as_ref().map(|m| {
+        trace.set_sink(None);
+        let rep = m.finish();
+        if let Some(v) = rep.violations.first() {
+            let mut msg = format!(
+                "protocol invariant violated: {v}\n  (FTDSM_SEED={:#x}, {} violations total)\n",
+                config.seed,
+                rep.violations.len()
+            );
+            let flow = trace.events_for_flow(v.flow);
+            if !flow.is_empty() {
+                msg.push_str("  causal flow:\n");
+                for e in &flow {
+                    msg.push_str(&format!("    {e}\n"));
+                }
+            }
+            panic!("{msg}");
+        }
+        rep
+    });
+
     // Collect reports and compute the final shared-memory hash from the
     // authoritative home copies.
     let mut nodes = Vec::with_capacity(n);
@@ -467,5 +628,8 @@ where
         shared_bytes,
         shared_hash: hash,
         trace,
+        phases: fabric.stats().total_phases(),
+        metrics,
+        monitor: monitor_report,
     }
 }

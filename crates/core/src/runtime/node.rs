@@ -267,6 +267,15 @@ pub(crate) struct NodeState {
     pub tracer: NodeTracer,
     /// Latency histograms accumulated across this node's incarnations.
     pub hists: LatencyHists,
+    /// Flow id of the message currently being handled (0 outside a
+    /// handler). Every message [`NodeState::send`] emits while a handler
+    /// runs is causally parented on this flow, which is what lets the
+    /// exporter stitch request → forward → grant chains across nodes.
+    pub cur_flow: u64,
+    /// Test-only (set via `ClusterConfig::inject_stale_apply`): one-shot
+    /// trigger that re-emits a `DiffApply` event with an already-applied
+    /// interval, so tests can prove the invariant monitor catches it.
+    pub inject_stale_apply: Option<Arc<std::sync::atomic::AtomicBool>>,
 }
 
 /// Everything shared between a node's threads.
@@ -294,7 +303,7 @@ impl NodeState {
         let gossip = matches!(payload, Payload::BarrierRelease { .. });
         let piggy = self.make_piggy(to, gossip);
         let ep = Arc::clone(&self.ep);
-        ep.send(to, Msg { payload, piggy });
+        ep.send(to, Msg::with_parent(payload, piggy, self.cur_flow));
     }
 
     fn make_piggy(&mut self, to: ProcId, gossip: bool) -> Option<Piggy> {
@@ -736,11 +745,13 @@ pub(crate) fn apply_pending_home(st: &mut NodeState) {
     let mut rest = Vec::with_capacity(replay.pending_home.len());
     for e in replay.pending_home.drain(..) {
         if e.t.get(st.me) <= bound {
-            st.pt.home_apply_diff(&e.diff);
-            if st.tracer.enabled() {
+            let fresh = st.pt.home_apply_diff(&e.diff);
+            if fresh && st.tracer.enabled() {
                 st.tracer.emit(EventKind::DiffApply {
                     page: e.diff.page.0,
                     bytes: e.diff.payload_bytes() as u32,
+                    writer: e.diff.interval.proc,
+                    interval: e.diff.interval.seq as u64,
                 });
             }
         } else {
@@ -749,6 +760,26 @@ pub(crate) fn apply_pending_home(st: &mut NodeState) {
     }
     replay.pending_home = rest;
     serve_waiting_fetches(st);
+}
+
+/// Test-only (armed via `ClusterConfig::inject_stale_apply`): re-emit the
+/// `DiffApply` event for an already-applied diff, once, simulating a home
+/// that applied a stale duplicate. The invariant monitor must catch it.
+fn inject_stale_apply_if_armed(st: &mut NodeState, last: Option<&Diff>) {
+    let Some(flag) = &st.inject_stale_apply else {
+        return;
+    };
+    if !st.tracer.enabled() || !flag.swap(false, Ordering::Relaxed) {
+        return;
+    }
+    if let Some(d) = last {
+        st.tracer.emit(EventKind::DiffApply {
+            page: d.page.0,
+            bytes: d.payload_bytes() as u32,
+            writer: d.interval.proc,
+            interval: d.interval.seq as u64,
+        });
+    }
 }
 
 /// Produce a grant right now (the lock is free at this node).
@@ -775,6 +806,7 @@ pub(crate) fn grant_now(
     st.tracer.emit(EventKind::LockGrant {
         lock: lock as u32,
         to: requester,
+        gen,
     });
     if let Some(ft) = st.ft.as_mut() {
         let mut t_after = req_vt.clone();
@@ -1239,19 +1271,28 @@ pub(crate) fn handle_msg(st: &mut NodeState, from: ProcId, payload: Payload) {
             let mut ready = Vec::new();
             for d in &diffs {
                 let t0 = Instant::now();
-                match home.apply_diff(d, || true) {
-                    ApplyOutcome::Applied(r) => ready.extend(r),
+                let fresh = match home.apply_diff(d, || true) {
+                    ApplyOutcome::Applied { fresh, ready: r } => {
+                        ready.extend(r);
+                        fresh
+                    }
                     ApplyOutcome::NotHome => panic!("diff for page {} not homed here", d.page),
                     ApplyOutcome::Stale => unreachable!("big-lock apply never stale"),
-                }
+                };
                 st.hists.diff_apply.record(t0.elapsed().as_nanos() as u64);
-                if st.tracer.enabled() {
+                // Only a version-advancing apply is an apply; a duplicated
+                // or retransmitted batch the gate skipped must not emit
+                // (the invariant monitor treats a repeat as a violation).
+                if fresh && st.tracer.enabled() {
                     st.tracer.emit(EventKind::DiffApply {
                         page: d.page.0,
                         bytes: d.payload_bytes() as u32,
+                        writer: d.interval.proc,
+                        interval: d.interval.seq as u64,
                     });
                 }
             }
+            inject_stale_apply_if_armed(st, diffs.last().map(|d| &**d));
             send_ready_fetches(st, ready);
             // Stop-and-wait ack. The home keeps no per-writer seq state:
             // it acks whatever arrives (the version gate inside apply_diff
@@ -1494,6 +1535,7 @@ struct FastCtx {
     tracer: NodeTracer,
     me: ProcId,
     member: Option<Arc<MemberRuntime>>,
+    inject_stale_apply: Option<Arc<std::sync::atomic::AtomicBool>>,
 }
 
 /// What the fast path did with a message.
@@ -1521,6 +1563,9 @@ fn try_fast_path(
     msg: Msg,
 ) -> FastOutcome {
     let live = || cx.mode_flag.load(Ordering::SeqCst) == MODE_NORMAL;
+    // Fast-path replies are parented on the request's flow so the exporter
+    // can stitch request → reply across nodes (0 when tracing is off).
+    let in_flow = msg.ctx.flow_id();
     match &msg.payload {
         Payload::PageReq {
             page,
@@ -1542,12 +1587,15 @@ fn try_fast_path(
                 FetchOutcome::Ready(version, bytes) => {
                     cx.ep.send(
                         from,
-                        Msg::bare(Payload::PageReply {
-                            page,
-                            req_id,
-                            version,
-                            bytes,
-                        }),
+                        Msg::reply_to(
+                            Payload::PageReply {
+                                page,
+                                req_id,
+                                version,
+                                bytes,
+                            },
+                            in_flow,
+                        ),
                     );
                     FastOutcome::Handled { notify: false }
                 }
@@ -1563,12 +1611,17 @@ fn try_fast_path(
                 let (outcome, waited) = cx.home.apply_diff_timed(d, live);
                 hists.shard_lock_wait.record(waited.as_nanos() as u64);
                 match outcome {
-                    ApplyOutcome::Applied(r) => {
+                    ApplyOutcome::Applied { fresh, ready: r } => {
                         hists.diff_apply.record(t0.elapsed().as_nanos() as u64);
-                        if cx.tracer.enabled() {
+                        // Version-gate-skipped duplicates are not applies;
+                        // emitting them would trip the monitor on every
+                        // chaos-duplicated batch.
+                        if fresh && cx.tracer.enabled() {
                             cx.tracer.emit(EventKind::DiffApply {
                                 page: d.page.0,
                                 bytes: d.payload_bytes() as u32,
+                                writer: d.interval.proc,
+                                interval: d.interval.seq as u64,
                             });
                         }
                         ready.extend(r);
@@ -1580,31 +1633,54 @@ fn try_fast_path(
                         for r in ready {
                             cx.ep.send(
                                 r.from,
-                                Msg::bare(Payload::PageReply {
-                                    page: r.page,
-                                    req_id: r.req_id,
-                                    version: r.version,
-                                    bytes: r.bytes,
-                                }),
+                                Msg::reply_to(
+                                    Payload::PageReply {
+                                        page: r.page,
+                                        req_id: r.req_id,
+                                        version: r.version,
+                                        bytes: r.bytes,
+                                    },
+                                    in_flow,
+                                ),
                             );
                         }
                         return FastOutcome::Fallback(Box::new(msg));
                     }
                 }
             }
+            if cx.tracer.enabled() {
+                if let Some(flag) = &cx.inject_stale_apply {
+                    if flag.swap(false, Ordering::Relaxed) {
+                        if let Some(d) = diffs.last() {
+                            // Deliberate protocol violation (test-only): the
+                            // monitor must flag this duplicate apply.
+                            cx.tracer.emit(EventKind::DiffApply {
+                                page: d.page.0,
+                                bytes: d.payload_bytes() as u32,
+                                writer: d.interval.proc,
+                                interval: d.interval.seq as u64,
+                            });
+                        }
+                    }
+                }
+            }
             for r in ready {
                 cx.ep.send(
                     r.from,
-                    Msg::bare(Payload::PageReply {
-                        page: r.page,
-                        req_id: r.req_id,
-                        version: r.version,
-                        bytes: r.bytes,
-                    }),
+                    Msg::reply_to(
+                        Payload::PageReply {
+                            page: r.page,
+                            req_id: r.req_id,
+                            version: r.version,
+                            bytes: r.bytes,
+                        },
+                        in_flow,
+                    ),
                 );
             }
             if seq != 0 {
-                cx.ep.send(from, Msg::bare(Payload::DiffAck { seq }));
+                cx.ep
+                    .send(from, Msg::reply_to(Payload::DiffAck { seq }, in_flow));
             }
             FastOutcome::Handled { notify: true }
         }
@@ -1641,10 +1717,13 @@ fn try_fast_path(
             if !ready.is_empty() {
                 cx.ep.send(
                     from,
-                    Msg::bare(Payload::PageBatchReply {
-                        req_id,
-                        pages: ready,
-                    }),
+                    Msg::reply_to(
+                        Payload::PageBatchReply {
+                            req_id,
+                            pages: ready,
+                        },
+                        in_flow,
+                    ),
                 );
             }
             FastOutcome::Handled { notify: false }
@@ -1674,14 +1753,17 @@ fn try_fast_path(
                 Some(a) if a.grant_from != cx.me => {
                     cx.ep.send(
                         a.grant_from,
-                        Msg::bare(Payload::LockForward {
-                            lock: a.lock,
-                            requester: a.req.requester,
-                            acq_seq: a.req.acq_seq,
-                            gen: a.gen,
-                            pred_acq: a.pred_acq,
-                            vt: a.req.vt,
-                        }),
+                        Msg::reply_to(
+                            Payload::LockForward {
+                                lock: a.lock,
+                                requester: a.req.requester,
+                                acq_seq: a.req.acq_seq,
+                                gen: a.gen,
+                                pred_acq: a.pred_acq,
+                                vt: a.req.vt,
+                            },
+                            in_flow,
+                        ),
                     );
                     FastOutcome::Handled { notify: false }
                 }
@@ -1691,6 +1773,7 @@ fn try_fast_path(
                     // here: drop the action. Recovery resets the manager
                     // state and the requester retransmits on NodeUp.
                     if st.mode == Mode::Normal {
+                        st.cur_flow = in_flow;
                         handle_forward(
                             &mut st,
                             a.lock,
@@ -1700,6 +1783,7 @@ fn try_fast_path(
                             a.pred_acq,
                             a.req.vt,
                         );
+                        st.cur_flow = 0;
                     }
                     FastOutcome::Handled { notify: false }
                 }
@@ -1742,7 +1826,13 @@ fn slow_path(shared: &NodeShared, ev: Event<Msg>) {
                     }
                     other => st.backlog.push((from, other)),
                 },
-                Mode::Normal => handle_msg(&mut st, from, msg.payload),
+                Mode::Normal => {
+                    // Everything the handler sends is causally parented on
+                    // the message being handled.
+                    st.cur_flow = msg.ctx.flow_id();
+                    handle_msg(&mut st, from, msg.payload);
+                    st.cur_flow = 0;
+                }
             }
         }
     }
@@ -1769,6 +1859,7 @@ pub(crate) fn service_loop(shared: Arc<NodeShared>) {
             tracer: st.tracer.clone(),
             me: st.me,
             member: st.member.clone(),
+            inject_stale_apply: st.inject_stale_apply.clone(),
         }
     };
     // Fast-path accounting lives in loop locals (the point is not to touch
@@ -1790,13 +1881,19 @@ pub(crate) fn service_loop(shared: Arc<NodeShared>) {
             // the peer). A crashed node's input is already cut off at the
             // fabric; the mode check here just fences the drain race.
             Event::Msg { from, msg } if matches!(msg.payload, Payload::Member(_)) => {
+                let kind = msg.payload.kind();
                 let Payload::Member(w) = msg.payload else {
                     unreachable!()
                 };
                 if cx.mode_flag.load(Ordering::SeqCst) != Mode::Crashed.flag() {
                     if let Some(mr) = &cx.member {
+                        let t0 = Instant::now();
                         let actions = mr.det.lock().on_msg(from, w, Instant::now());
                         apply_member_actions(&shared, &cx.ep, &cx.tracer, mr, actions);
+                        // Attribute detector service time per heartbeat
+                        // message kind, same as the fast path: loop-local,
+                        // folded into the node state at exit.
+                        *fast_time.entry(kind).or_default() += t0.elapsed();
                     }
                 }
             }
@@ -1897,6 +1994,8 @@ mod tests {
             breakdown_acc: Default::default(),
             tracer: NodeTracer::disabled(),
             hists: Default::default(),
+            cur_flow: 0,
+            inject_stale_apply: None,
         };
         eps.remove(me);
         (st, eps)

@@ -9,12 +9,15 @@
 use std::time::Duration;
 
 use dsm_member::MemberStats;
+use dsm_metrics::TimeSeries;
 use dsm_net::stats::TrafficSnapshot;
+use dsm_net::PhaseAcc;
 use dsm_page::PoolStats;
 use dsm_storage::StoreStats;
 use dsm_trace::{LatencyHists, Trace};
 
 use crate::ft::logs::LogCounters;
+use crate::monitor::MonitorReport;
 
 /// Wall-clock execution-time breakdown of one node's application thread.
 #[derive(Debug, Clone, Copy, Default)]
@@ -135,6 +138,17 @@ pub struct RunReport<R> {
     /// The run's protocol trace (empty rings unless tracing was enabled);
     /// export with [`dsm_trace::export`].
     pub trace: Trace,
+    /// Receive-side latency attribution per message kind, cluster-wide:
+    /// queue wait vs chaos-injected delay. Empty unless tracing was on.
+    pub phases: Vec<(&'static str, PhaseAcc)>,
+    /// Periodic metrics snapshots sampled during the run (empty when
+    /// metrics sampling was off).
+    pub metrics: TimeSeries,
+    /// Invariant-monitor summary (`None` when the monitor was off). A run
+    /// with violations panics before this report is returned; the field
+    /// exists so clean runs can assert the monitor actually consumed
+    /// events.
+    pub monitor: Option<MonitorReport>,
 }
 
 impl<R> RunReport<R> {

@@ -5,7 +5,32 @@
 
 use dsm_page::{Diff, Interval, PageId, VectorClock};
 use dsm_storage::{ByteReader, ByteWriter, CodecError};
+use dsm_trace::TraceCtx;
 use hlrc::WriteNotice;
+
+/// Encode a trace context: origin (16 bits) and seq (48 bits) packed into
+/// one word, then the parent flow id — exactly the 16 bytes
+/// [`TraceCtx::WIRE_SIZE`] charges. The measurement-only fields
+/// (`sent_at_ns`, `chaos_delay_ns`) are deliberately not encoded: a real
+/// network stack would derive them from NIC timestamps, so the wire model
+/// does not charge for them.
+pub fn put_ctx(w: &mut ByteWriter, ctx: &TraceCtx) {
+    w.put_u64(((ctx.origin as u64) << 48) | (ctx.seq & 0xFFFF_FFFF_FFFF));
+    w.put_u64(ctx.parent);
+}
+
+/// Decode a trace context (measurement fields come back zeroed).
+pub fn get_ctx(r: &mut ByteReader) -> Result<TraceCtx, CodecError> {
+    let packed = r.get_u64()?;
+    let parent = r.get_u64()?;
+    Ok(TraceCtx {
+        origin: (packed >> 48) as u32,
+        seq: packed & 0xFFFF_FFFF_FFFF,
+        parent,
+        sent_at_ns: 0,
+        chaos_delay_ns: 0,
+    })
+}
 
 /// Encode a vector clock.
 pub fn put_vt(w: &mut ByteWriter, vt: &VectorClock) {
@@ -217,6 +242,31 @@ mod tests {
         assert_eq!(get_page_needs(&mut r).unwrap(), needs);
         assert_eq!(get_page_copies(&mut r).unwrap(), copies);
         assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn ctx_roundtrip_and_length_is_pinned() {
+        let ctx = TraceCtx {
+            origin: 3,
+            seq: 0x1234_5678_9ABC,
+            parent: 0xDEAD_BEEF_0000_0001,
+            sent_at_ns: 999,     // not encoded
+            chaos_delay_ns: 777, // not encoded
+        };
+        let mut w = ByteWriter::new();
+        put_ctx(&mut w, &ctx);
+        assert_eq!(w.len(), TraceCtx::WIRE_SIZE);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let got = get_ctx(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(got.origin, ctx.origin);
+        assert_eq!(got.seq, ctx.seq);
+        assert_eq!(got.parent, ctx.parent);
+        assert_eq!(got.flow_id(), ctx.flow_id());
+        // Measurement metadata does not survive the wire.
+        assert_eq!(got.sent_at_ns, 0);
+        assert_eq!(got.chaos_delay_ns, 0);
     }
 
     #[test]

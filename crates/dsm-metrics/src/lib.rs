@@ -1,0 +1,511 @@
+//! A typed counter/gauge/histogram registry with periodic time-series
+//! snapshots, exported as JSONL (one snapshot per line) or Prometheus
+//! exposition text.
+//!
+//! Naming follows the Prometheus convention: `snake_case` with a unit
+//! suffix (`_total` for counters, `_ns`/`_bytes` where applicable) and an
+//! optional label block baked into the metric key, e.g.
+//! `fabric_msgs_sent_total{node="0"}`. The registry treats the full
+//! labelled string as the key; the exposition writer emits one `# TYPE`
+//! line per base name (the part before `{`).
+//!
+//! Handles are lock-free atomics; `snapshot()` reads them all at one
+//! timestamp. A [`TimeSeries`] accumulates snapshots during a run — its
+//! [`merge`](TimeSeries::merge) is order-insensitive, so per-node or
+//! per-shard series can be folded in any order (property-tested).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, Weak};
+use std::time::Instant;
+
+use dsm_trace::Histogram;
+
+/// A monotonically increasing counter. For derived metrics sampled from an
+/// external source (e.g. fabric atomics), use [`Counter::store`] with the
+/// source's current total.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite with an externally computed total.
+    pub fn store(&self, total: u64) {
+        self.0.store(total, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time signed gauge.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set the current value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust by `d`.
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A registered log2 histogram (shared with [`dsm_trace::Histogram`]).
+#[derive(Clone)]
+pub struct HistHandle(Arc<Mutex<Histogram>>);
+
+impl HistHandle {
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record(v);
+    }
+}
+
+struct Inner {
+    epoch: Instant,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    hists: Mutex<BTreeMap<String, Arc<Mutex<Histogram>>>>,
+}
+
+/// The metric registry: cheap to clone, safe to use from any thread.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry whose snapshot timestamps count from now.
+    pub fn new() -> Self {
+        Registry {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                hists: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self
+            .inner
+            .counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        Counter(Arc::clone(m.entry(name.to_string()).or_default()))
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self
+            .inner
+            .gauges
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        Gauge(Arc::clone(m.entry(name.to_string()).or_default()))
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> HistHandle {
+        let mut m = self
+            .inner
+            .hists
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        HistHandle(Arc::clone(
+            m.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Mutex::new(Histogram::new()))),
+        ))
+    }
+
+    /// Read every metric at one timestamp (nanoseconds since the registry
+    /// epoch).
+    pub fn snapshot(&self) -> Snapshot {
+        self.snapshot_at(self.inner.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// Snapshot with a caller-supplied timestamp (e.g. the trace epoch, so
+    /// metrics and trace events share a timeline).
+    pub fn snapshot_at(&self, ts_ns: u64) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let hists = self
+            .inner
+            .hists
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| {
+                let h = v.lock().unwrap_or_else(PoisonError::into_inner);
+                (k.clone(), HistSnapshot::of(&h))
+            })
+            .collect();
+        Snapshot {
+            ts_ns,
+            counters,
+            gauges,
+            hists,
+        }
+    }
+
+    /// Register with the global panic-dump registry (see
+    /// [`dump_on_panic`]).
+    pub fn register_flight_recorder(&self) {
+        let mut reg = flight_registry()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        reg.retain(|w| w.strong_count() > 0);
+        reg.push(Arc::downgrade(&self.inner));
+    }
+}
+
+/// Summary of one histogram at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Mean sample (0 when empty).
+    pub mean: u64,
+    /// Median (power-of-two resolution).
+    pub p50: u64,
+    /// 99th percentile (power-of-two resolution).
+    pub p99: u64,
+}
+
+impl HistSnapshot {
+    fn of(h: &Histogram) -> Self {
+        HistSnapshot {
+            count: h.count(),
+            min: h.min(),
+            max: h.max(),
+            mean: h.mean(),
+            p50: h.quantile(0.5),
+            p99: h.quantile(0.99),
+        }
+    }
+}
+
+/// All metric values at one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Nanoseconds since the sampling epoch.
+    pub ts_ns: u64,
+    /// Counter values by metric key.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by metric key.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by metric key.
+    pub hists: BTreeMap<String, HistSnapshot>,
+}
+
+impl Snapshot {
+    /// One JSONL record: `{"ts_ns":…,"counters":{…},"gauges":{…},"hists":{…}}`.
+    pub fn to_jsonl(&self) -> String {
+        use std::fmt::Write;
+        let mut s = format!("{{\"ts_ns\":{}", self.ts_ns);
+        s.push_str(",\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":{v}", dsm_trace::json::escape(k));
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":{v}", dsm_trace::json::escape(k));
+        }
+        s.push_str("},\"hists\":{");
+        for (i, (k, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\"{}\":{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p99\":{}}}",
+                dsm_trace::json::escape(k),
+                h.count,
+                h.min,
+                h.max,
+                h.mean,
+                h.p50,
+                h.p99
+            );
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Prometheus exposition text. Histograms are rendered as summaries
+    /// (`{quantile="…"}` series plus `_count`/`_sum`-style companions).
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write;
+        fn base(name: &str) -> &str {
+            name.split('{').next().unwrap_or(name)
+        }
+        let mut s = String::new();
+        let mut typed: Option<&str> = None;
+        for (k, v) in &self.counters {
+            if typed != Some(base(k)) {
+                let _ = writeln!(s, "# TYPE {} counter", base(k));
+                typed = Some(base(k));
+            }
+            let _ = writeln!(s, "{k} {v}");
+        }
+        typed = None;
+        for (k, v) in &self.gauges {
+            if typed != Some(base(k)) {
+                let _ = writeln!(s, "# TYPE {} gauge", base(k));
+                typed = Some(base(k));
+            }
+            let _ = writeln!(s, "{k} {v}");
+        }
+        typed = None;
+        for (k, h) in &self.hists {
+            let (b, labels) = match k.find('{') {
+                Some(i) => (&k[..i], format!(",{}", &k[i + 1..k.len() - 1])),
+                None => (k.as_str(), String::new()),
+            };
+            if typed != Some(base(k)) {
+                let _ = writeln!(s, "# TYPE {b} summary");
+                typed = Some(base(k));
+            }
+            let _ = writeln!(s, "{b}{{quantile=\"0.5\"{labels}}} {}", h.p50);
+            let _ = writeln!(s, "{b}{{quantile=\"0.99\"{labels}}} {}", h.p99);
+            let _ = writeln!(
+                s,
+                "{b}_count{{{}}} {}",
+                labels.trim_start_matches(','),
+                h.count
+            );
+        }
+        s
+    }
+}
+
+/// A run's sequence of snapshots, ordered by timestamp.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    /// Snapshots sorted by `(ts_ns, content)`.
+    pub snapshots: Vec<Snapshot>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Append one snapshot, keeping the series sorted.
+    pub fn push(&mut self, snap: Snapshot) {
+        self.snapshots.push(snap);
+        self.normalize();
+    }
+
+    /// Fold another series into this one. Order-insensitive:
+    /// `a.merge(b) == b.merge(a)` element-for-element, because the result
+    /// is re-sorted with a total tie-break on serialized content.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        self.snapshots.extend(other.snapshots.iter().cloned());
+        self.normalize();
+    }
+
+    fn normalize(&mut self) {
+        self.snapshots.sort_by(|a, b| {
+            a.ts_ns
+                .cmp(&b.ts_ns)
+                .then_with(|| a.to_jsonl().cmp(&b.to_jsonl()))
+        });
+    }
+
+    /// The most recent snapshot.
+    pub fn last(&self) -> Option<&Snapshot> {
+        self.snapshots.last()
+    }
+
+    /// Whole series as JSONL, one snapshot per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for snap in &self.snapshots {
+            s.push_str(&snap.to_jsonl());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+static FLIGHT: OnceLock<Mutex<Vec<Weak<Inner>>>> = OnceLock::new();
+
+fn flight_registry() -> &'static Mutex<Vec<Weak<Inner>>> {
+    FLIGHT.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Dump a fresh snapshot of every registered, still-live registry to
+/// stderr. Called from panic hooks alongside the trace flight recorder;
+/// best-effort, never panics.
+pub fn dump_on_panic() {
+    let reg = flight_registry()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let live: Vec<_> = reg.iter().filter_map(|w| w.upgrade()).collect();
+    drop(reg);
+    if live.is_empty() {
+        return;
+    }
+    eprintln!("=== dsm-metrics flight recorder ===");
+    for inner in live {
+        let r = Registry { inner };
+        eprintln!("{}", r.snapshot().to_jsonl());
+    }
+    eprintln!("=== end metrics flight recorder ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_hists_round_trip_through_snapshot() {
+        let r = Registry::new();
+        r.counter("msgs_total{node=\"0\"}").add(3);
+        r.counter("msgs_total{node=\"0\"}").inc();
+        r.gauge("inflight").set(-2);
+        r.histogram("lat_ns").record(100);
+        r.histogram("lat_ns").record(200);
+        let s = r.snapshot();
+        assert_eq!(s.counters["msgs_total{node=\"0\"}"], 4);
+        assert_eq!(s.gauges["inflight"], -2);
+        assert_eq!(s.hists["lat_ns"].count, 2);
+        assert!(s.hists["lat_ns"].max >= 200);
+    }
+
+    #[test]
+    fn jsonl_parses_with_the_trace_json_parser() {
+        let r = Registry::new();
+        r.counter("a_total").inc();
+        r.gauge("g").set(7);
+        r.histogram("h_ns").record(5);
+        let line = r.snapshot_at(42).to_jsonl();
+        let v = dsm_trace::json::parse(&line).unwrap();
+        assert_eq!(v.get("ts_ns").unwrap().as_num(), Some(42.0));
+        assert_eq!(
+            v.get("counters").unwrap().get("a_total").unwrap().as_num(),
+            Some(1.0)
+        );
+        assert_eq!(
+            v.get("hists")
+                .unwrap()
+                .get("h_ns")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_num(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn prometheus_text_has_type_lines_and_values() {
+        let r = Registry::new();
+        r.counter("msgs_total{node=\"0\"}").add(5);
+        r.counter("msgs_total{node=\"1\"}").add(7);
+        r.gauge("mode").set(1);
+        r.histogram("lat_ns{node=\"0\"}").record(64);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE msgs_total counter"));
+        assert_eq!(text.matches("# TYPE msgs_total").count(), 1);
+        assert!(text.contains("msgs_total{node=\"0\"} 5"));
+        assert!(text.contains("msgs_total{node=\"1\"} 7"));
+        assert!(text.contains("# TYPE mode gauge"));
+        assert!(text.contains("# TYPE lat_ns summary"));
+        assert!(text.contains("lat_ns{quantile=\"0.5\",node=\"0\"} 64"));
+        assert!(text.contains("lat_ns_count{node=\"0\"} 1"));
+    }
+
+    #[test]
+    fn time_series_merge_is_order_insensitive() {
+        let r = Registry::new();
+        let c = r.counter("x_total");
+        let mut parts = Vec::new();
+        for i in 0..4u64 {
+            c.add(i + 1);
+            let mut ts = TimeSeries::new();
+            ts.push(r.snapshot_at(i * 100));
+            parts.push(ts);
+        }
+        let mut fwd = TimeSeries::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = TimeSeries::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.snapshots.len(), 4);
+        assert_eq!(fwd.last().unwrap().ts_ns, 300);
+    }
+
+    #[test]
+    fn flight_dump_survives_dead_registries() {
+        let r = Registry::new();
+        r.counter("alive_total").inc();
+        r.register_flight_recorder();
+        {
+            let dead = Registry::new();
+            dead.register_flight_recorder();
+        }
+        dump_on_panic();
+    }
+}

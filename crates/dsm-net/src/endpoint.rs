@@ -27,6 +27,11 @@ pub enum NodeStatus {
 
 /// Messages must report their encoded size so traffic can be accounted
 /// without actually serializing on the hot path.
+///
+/// The trace-context hooks (`stamp_send`, `add_chaos_delay`, `trace_view`)
+/// default to no-ops so size-only message types keep working; a message
+/// carrying a [`dsm_trace::TraceCtx`] overrides them and gets causal
+/// cross-node flow stitching plus queue/chaos latency attribution for free.
 pub trait WireSized {
     /// Encoded size of the base-protocol part of the message, in bytes.
     fn base_wire_size(&self) -> usize;
@@ -37,6 +42,21 @@ pub trait WireSized {
     /// Short stable message-kind label for tracing (e.g. `"PageReq"`).
     fn kind_name(&self) -> &'static str {
         "msg"
+    }
+    /// Stamp a fresh trace context at send time: the stamping node, a
+    /// per-endpoint monotonic sequence number (starting at 1), and the
+    /// send timestamp in trace-epoch nanoseconds (0 when tracing is off).
+    /// Must preserve any parent flow already set by the sender.
+    fn stamp_send(&mut self, _origin: u32, _seq: u64, _now_ns: u64) {}
+    /// Accumulate `ns` of fabric-injected delay (chaos Delay rules and
+    /// duplicate detours) so the receive side can subtract it from the
+    /// observed transit time.
+    fn add_chaos_delay(&mut self, _ns: u64) {}
+    /// Receive-side view of the stamped context:
+    /// `(flow, parent, sent_at_ns, chaos_delay_ns)`. All zeros when the
+    /// message carries no context.
+    fn trace_view(&self) -> (u64, u64, u64, u64) {
+        (0, 0, 0, 0)
     }
 }
 
@@ -203,6 +223,7 @@ impl<M: Send + WireSized> Fabric<M> {
                 rx,
                 shared: Arc::clone(&shared),
                 tracer: NodeTracer::disabled(),
+                ctx_seq: AtomicU64::new(0),
             })
             .collect();
         (Fabric { shared, n }, endpoints)
@@ -322,6 +343,8 @@ pub struct Endpoint<M> {
     rx: Receiver<Event<M>>,
     shared: Arc<FabricShared<M>>,
     tracer: NodeTracer,
+    /// Monotonic trace-context sequence; `(id, seq)` names a flow.
+    ctx_seq: AtomicU64,
 }
 
 impl<M: Send + Clone + WireSized> Endpoint<M> {
@@ -339,10 +362,31 @@ impl<M: Send + Clone + WireSized> Endpoint<M> {
     fn note_recv(&self, ev: &Event<M>) {
         if self.tracer.enabled() {
             if let Event::Msg { from, msg } = ev {
+                let (flow, _parent, sent_at, chaos_ns) = msg.trace_view();
+                // Transit minus injected chaos = sender hand-off + inbound
+                // queue wait. Only attributable when the send was stamped
+                // with a timestamp (tracing was on at the sender too).
+                let queue_ns = if sent_at != 0 {
+                    let q = self
+                        .tracer
+                        .now_ns()
+                        .saturating_sub(sent_at)
+                        .saturating_sub(chaos_ns);
+                    self.shared
+                        .stats
+                        .node(self.id)
+                        .record_recv_phase(msg.kind_name(), q, chaos_ns);
+                    q
+                } else {
+                    0
+                };
                 self.tracer.emit(EventKind::MsgRecv {
                     kind: msg.kind_name(),
                     from: *from,
                     bytes: (msg.base_wire_size() + msg.ft_wire_size()) as u32,
+                    flow,
+                    queue_ns,
+                    chaos_ns: if sent_at != 0 { chaos_ns } else { 0 },
                 });
             }
         }
@@ -359,19 +403,32 @@ impl<M: Send + Clone + WireSized> Endpoint<M> {
     /// returned. Under a fault plan or partition the message may be lost,
     /// duplicated, delayed or reordered; the sender can't tell (`true` is
     /// still returned — a real NIC doesn't know the network ate its packet).
-    pub fn send(&self, to: NodeId, msg: M) -> bool {
+    pub fn send(&self, to: NodeId, mut msg: M) -> bool {
         assert_ne!(to, self.id, "self-sends are a protocol bug");
         let traffic = self.shared.stats.node(self.id);
         if self.shared.status.read()[to] == NodeStatus::Crashed {
             traffic.record_drop();
             return false;
         }
+        // Stamp the causal context: origin + per-endpoint seq name the
+        // flow; the timestamp (trace-epoch ns) is only taken when tracing
+        // is on so the disabled path stays a relaxed load + counter bump.
+        let seq = self.ctx_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let now_ns = if self.tracer.enabled() {
+            self.tracer.now_ns()
+        } else {
+            0
+        };
+        msg.stamp_send(self.id as u32, seq, now_ns);
         traffic.record_send(msg.base_wire_size(), msg.ft_wire_size(), msg.kind_name());
         if self.tracer.enabled() {
+            let (flow, parent, _, _) = msg.trace_view();
             self.tracer.emit(EventKind::MsgSend {
                 kind: msg.kind_name(),
                 to,
                 bytes: (msg.base_wire_size() + msg.ft_wire_size()) as u32,
+                flow,
+                parent,
             });
         }
         if self.shared.chaos_on.load(Ordering::Acquire) {
@@ -396,10 +453,13 @@ impl<M: Send + Clone + WireSized> Endpoint<M> {
                     // Deliver now; the extra copy takes a detour so it can
                     // arrive out of order.
                     traffic.record_chaos_dup();
-                    self.push_delayed(to, msg.clone(), detour);
+                    let mut dup = msg.clone();
+                    dup.add_chaos_delay(detour.as_nanos() as u64);
+                    self.push_delayed(to, dup, detour);
                 }
                 Fate::Delay { by } => {
                     traffic.record_chaos_delay();
+                    msg.add_chaos_delay(by.as_nanos() as u64);
                     self.push_delayed(to, msg, by);
                     return true;
                 }

@@ -29,4 +29,4 @@ pub mod stats;
 
 pub use chaos::{FaultPlan, FaultRule};
 pub use endpoint::{Endpoint, Event, Fabric, NodeId, NodeStatus, WireSized};
-pub use stats::{FabricStats, NodeTraffic};
+pub use stats::{FabricStats, NodeTraffic, PhaseAcc};

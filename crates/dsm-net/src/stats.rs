@@ -31,6 +31,31 @@ pub struct NodeTraffic {
     /// Sent-message counts by message kind. A handful of kinds exist, so a
     /// linear list under a mutex beats a hash map here.
     kinds: Mutex<Vec<(&'static str, u64)>>,
+    /// Receive-side latency attribution per message kind (only populated
+    /// while tracing is on: the sender must have stamped a timestamp).
+    phases: Mutex<Vec<(&'static str, PhaseAcc)>>,
+}
+
+/// Accumulated receive-side latency attribution for one message kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseAcc {
+    /// Messages attributed.
+    pub count: u64,
+    /// Total sender hand-off + receiver inbound-queue wait, nanoseconds.
+    pub queue_ns: u64,
+    /// Total fabric-injected (chaos) delay, nanoseconds.
+    pub chaos_ns: u64,
+}
+
+impl std::ops::Add for PhaseAcc {
+    type Output = PhaseAcc;
+    fn add(self, o: PhaseAcc) -> PhaseAcc {
+        PhaseAcc {
+            count: self.count + o.count,
+            queue_ns: self.queue_ns + o.queue_ns,
+            chaos_ns: self.chaos_ns + o.chaos_ns,
+        }
+    }
 }
 
 impl NodeTraffic {
@@ -66,9 +91,32 @@ impl NodeTraffic {
         self.partition_blocked.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_recv_phase(&self, kind: &'static str, queue_ns: u64, chaos_ns: u64) {
+        let mut phases = self.phases.lock();
+        let acc = match phases.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, acc)) => acc,
+            None => {
+                phases.push((kind, PhaseAcc::default()));
+                &mut phases.last_mut().unwrap().1
+            }
+        };
+        acc.count += 1;
+        acc.queue_ns += queue_ns;
+        acc.chaos_ns += chaos_ns;
+    }
+
     /// Sent-message counts per message kind, sorted by kind name.
     pub fn kind_counts(&self) -> Vec<(&'static str, u64)> {
         let mut v = self.kinds.lock().clone();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
+    }
+
+    /// Receive-side latency attribution per message kind, sorted by kind
+    /// name. Empty unless tracing was on (attribution needs the sender's
+    /// stamped timestamp).
+    pub fn phase_counts(&self) -> Vec<(&'static str, PhaseAcc)> {
+        let mut v = self.phases.lock().clone();
         v.sort_unstable_by_key(|&(k, _)| k);
         v
     }
@@ -161,6 +209,21 @@ impl FabricStats {
             .iter()
             .map(|t| t.snapshot())
             .fold(TrafficSnapshot::default(), |a, b| a + b)
+    }
+
+    /// Cluster-wide receive-side latency attribution per kind, sorted.
+    pub fn total_phases(&self) -> Vec<(&'static str, PhaseAcc)> {
+        let mut merged: Vec<(&'static str, PhaseAcc)> = Vec::new();
+        for t in &self.per_node {
+            for (kind, acc) in t.phase_counts() {
+                match merged.iter_mut().find(|(k, _)| *k == kind) {
+                    Some((_, m)) => *m = *m + acc,
+                    None => merged.push((kind, acc)),
+                }
+            }
+        }
+        merged.sort_unstable_by_key(|&(k, _)| k);
+        merged
     }
 
     /// Cluster-wide sent-message counts per message kind, sorted by kind.

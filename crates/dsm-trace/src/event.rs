@@ -59,12 +59,23 @@ pub enum EventKind {
     PageReply { page: u32, from: usize },
     /// A diff was created against the twin at release/flush time.
     DiffCreate { page: u32, bytes: u32 },
-    /// A diff was applied to the home copy.
-    DiffApply { page: u32, bytes: u32 },
+    /// A diff was applied to the home copy. `writer` is the interval's
+    /// owning process and `interval` its per-writer sequence number — the
+    /// invariant monitor asserts `(page, writer)` intervals apply in
+    /// strictly increasing order, exactly once.
+    DiffApply {
+        page: u32,
+        bytes: u32,
+        writer: usize,
+        interval: u64,
+    },
     /// App thread asked the lock manager for a lock.
     LockRequest { lock: u32 },
-    /// This node (as manager or holder) granted the lock to `to`.
-    LockGrant { lock: u32, to: usize },
+    /// This node (as manager or holder) granted the lock to `to` for chain
+    /// generation `gen`. Re-granting the same generation to the same
+    /// requester is a legal retransmission replay; to a *different*
+    /// requester it is a protocol violation.
+    LockGrant { lock: u32, to: usize, gen: u64 },
     /// App thread finished acquiring the lock.
     LockAcquire { lock: u32 },
     /// App thread arrived at a barrier episode.
@@ -79,17 +90,26 @@ pub enum EventKind {
     LogTrim { rule: TrimRule, bytes: u64 },
     /// Checkpoint garbage collection dropped a retained checkpoint.
     CgcDiscard { seq: u64, bytes: u64 },
-    /// A message left this node.
+    /// A message left this node. `flow` is the message's own flow id
+    /// (from its stamped [`TraceCtx`](crate::TraceCtx)); `parent` is the
+    /// flow it was sent in service of (0 = root).
     MsgSend {
         kind: &'static str,
         to: usize,
         bytes: u32,
+        flow: u64,
+        parent: u64,
     },
-    /// A message was taken off this node's channel.
+    /// A message was taken off this node's channel. `queue_ns` is transit
+    /// time minus injected chaos delay (sender hand-off + receiver inbound
+    /// queue); `chaos_ns` is the delay the fault plan injected.
     MsgRecv {
         kind: &'static str,
         from: usize,
         bytes: u32,
+        flow: u64,
+        queue_ns: u64,
+        chaos_ns: u64,
     },
     /// The failure injector crashed this node.
     CrashInjected { at_op: u64 },
@@ -140,13 +160,21 @@ impl EventKind {
         match self {
             EventKind::PageFault { page } => format!("\"page\":{page}"),
             EventKind::PageReply { page, from } => format!("\"page\":{page},\"from\":{from}"),
-            EventKind::DiffCreate { page, bytes } | EventKind::DiffApply { page, bytes } => {
-                format!("\"page\":{page},\"bytes\":{bytes}")
-            }
+            EventKind::DiffCreate { page, bytes } => format!("\"page\":{page},\"bytes\":{bytes}"),
+            EventKind::DiffApply {
+                page,
+                bytes,
+                writer,
+                interval,
+            } => format!(
+                "\"page\":{page},\"bytes\":{bytes},\"writer\":{writer},\"interval\":{interval}"
+            ),
             EventKind::LockRequest { lock } | EventKind::LockAcquire { lock } => {
                 format!("\"lock\":{lock}")
             }
-            EventKind::LockGrant { lock, to } => format!("\"lock\":{lock},\"to\":{to}"),
+            EventKind::LockGrant { lock, to, gen } => {
+                format!("\"lock\":{lock},\"to\":{to},\"gen\":{gen}")
+            }
             EventKind::BarrierEnter { episode } | EventKind::BarrierRelease { episode } => {
                 format!("\"episode\":{episode}")
             }
@@ -156,11 +184,39 @@ impl EventKind {
                 format!("\"rule\":\"{}\",\"bytes\":{bytes}", rule.name())
             }
             EventKind::CgcDiscard { seq, bytes } => format!("\"seq\":{seq},\"bytes\":{bytes}"),
-            EventKind::MsgSend { kind, to, bytes } => {
-                format!("\"kind\":\"{kind}\",\"to\":{to},\"bytes\":{bytes}")
+            EventKind::MsgSend {
+                kind,
+                to,
+                bytes,
+                flow,
+                parent,
+            } => {
+                let mut s = format!("\"kind\":\"{kind}\",\"to\":{to},\"bytes\":{bytes}");
+                if *flow != 0 {
+                    s.push_str(&format!(",\"flow\":{flow}"));
+                }
+                if *parent != 0 {
+                    s.push_str(&format!(",\"parent\":{parent}"));
+                }
+                s
             }
-            EventKind::MsgRecv { kind, from, bytes } => {
-                format!("\"kind\":\"{kind}\",\"from\":{from},\"bytes\":{bytes}")
+            EventKind::MsgRecv {
+                kind,
+                from,
+                bytes,
+                flow,
+                queue_ns,
+                chaos_ns,
+            } => {
+                let mut s = format!("\"kind\":\"{kind}\",\"from\":{from},\"bytes\":{bytes}");
+                if *flow != 0 {
+                    s.push_str(&format!(",\"flow\":{flow}"));
+                    s.push_str(&format!(",\"queue_ns\":{queue_ns}"));
+                    if *chaos_ns != 0 {
+                        s.push_str(&format!(",\"chaos_ns\":{chaos_ns}"));
+                    }
+                }
+                s
             }
             EventKind::CrashInjected { at_op } => format!("\"at_op\":{at_op}"),
             EventKind::RecoveryPhase { phase } => format!("\"phase\":\"{}\"", phase.name()),
@@ -170,6 +226,17 @@ impl EventKind {
             EventKind::Retransmit { kind, to } => {
                 format!("\"kind\":\"{kind}\",\"to\":{to}")
             }
+        }
+    }
+
+    /// The causal flow this event participates in: `(own_flow, parent)`.
+    /// `MsgSend` carries both; `MsgRecv` carries only its own flow. Events
+    /// without a wire context return `None`.
+    pub fn flow_ref(&self) -> Option<(u64, u64)> {
+        match self {
+            EventKind::MsgSend { flow, parent, .. } if *flow != 0 => Some((*flow, *parent)),
+            EventKind::MsgRecv { flow, .. } if *flow != 0 => Some((*flow, 0)),
+            _ => None,
         }
     }
 

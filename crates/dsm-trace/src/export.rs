@@ -69,9 +69,30 @@ fn event_chrome(e: &Event) -> String {
     }
 }
 
+/// Cross-node flow arrows: a stamped `MsgSend` opens a flow (`ph:"s"`),
+/// the matching `MsgRecv` closes it (`ph:"f"`, binding to the enclosing
+/// slice). Perfetto draws an arrow from the sender's lane to the
+/// receiver's.
+fn event_flow(e: &Event) -> Option<String> {
+    let ts_us = e.ts_ns as f64 / 1000.0;
+    match &e.kind {
+        crate::EventKind::MsgSend { kind, flow, .. } if *flow != 0 => Some(format!(
+            "{{\"name\":\"{kind}\",\"cat\":\"dsm.flow\",\"ph\":\"s\",\"id\":{flow},\"ts\":{ts_us:.3},\"pid\":1,\"tid\":{}}}",
+            e.node
+        )),
+        crate::EventKind::MsgRecv { kind, flow, .. } if *flow != 0 => Some(format!(
+            "{{\"name\":\"{kind}\",\"cat\":\"dsm.flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{flow},\"ts\":{ts_us:.3},\"pid\":1,\"tid\":{}}}",
+            e.node
+        )),
+        _ => None,
+    }
+}
+
 /// Write the merged trace in Chrome trace-event JSON. Each node gets its
 /// own lane (`tid`), named via `thread_name` metadata so Perfetto shows
-/// "node 0", "node 1", … rows under one "dsm cluster" process.
+/// "node 0", "node 1", … rows under one "dsm cluster" process. Stamped
+/// message sends/receives additionally emit flow events (`ph:"s"`/`"f"`)
+/// so Perfetto draws cross-lane causality arrows.
 pub fn write_chrome_trace(trace: &Trace, out: &mut dyn Write) -> io::Result<()> {
     write!(out, "{{\"traceEvents\":[")?;
     write!(
@@ -86,6 +107,9 @@ pub fn write_chrome_trace(trace: &Trace, out: &mut dyn Write) -> io::Result<()> 
     }
     for e in trace.all_events() {
         write!(out, ",{}", event_chrome(&e))?;
+        if let Some(flow) = event_flow(&e) {
+            write!(out, ",{flow}")?;
+        }
     }
     write!(out, "],\"displayTimeUnit\":\"ns\"}}")?;
     Ok(())
@@ -113,6 +137,8 @@ mod tests {
             kind: "PageReq",
             to: 0,
             bytes: 16,
+            flow: 0,
+            parent: 0,
         });
         a.emit_span(
             EventKind::RecoveryPhase {
@@ -155,6 +181,61 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| { e.get("ph").unwrap().as_str() == Some("X") && e.get("dur").is_some() }));
+    }
+
+    #[test]
+    fn stamped_send_recv_pairs_emit_flow_events() {
+        let t = Trace::new(2, &TraceConfig::enabled());
+        let flow = crate::TraceCtx {
+            origin: 0,
+            seq: 1,
+            ..crate::TraceCtx::NONE
+        }
+        .flow_id();
+        t.tracer(0).emit(EventKind::MsgSend {
+            kind: "PageReq",
+            to: 1,
+            bytes: 16,
+            flow,
+            parent: 0,
+        });
+        t.tracer(1).emit(EventKind::MsgRecv {
+            kind: "PageReq",
+            from: 0,
+            bytes: 16,
+            flow,
+            queue_ns: 120,
+            chaos_ns: 0,
+        });
+        let v = crate::json::parse(&to_chrome_trace(&t)).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let start = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("s"))
+            .expect("flow start");
+        let finish = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("f"))
+            .expect("flow finish");
+        assert_eq!(
+            start.get("id").unwrap().as_num(),
+            finish.get("id").unwrap().as_num()
+        );
+        assert_eq!(start.get("tid").unwrap().as_num(), Some(0.0));
+        assert_eq!(finish.get("tid").unwrap().as_num(), Some(1.0));
+        assert_eq!(finish.get("bp").unwrap().as_str(), Some("e"));
+        // The recv instant carries the queue-wait attribution.
+        let recv = events
+            .iter()
+            .find(|e| {
+                e.get("name").unwrap().as_str() == Some("msg_recv")
+                    && e.get("ph").unwrap().as_str() == Some("i")
+            })
+            .expect("msg_recv instant");
+        assert_eq!(
+            recv.get("args").unwrap().get("queue_ns").unwrap().as_num(),
+            Some(120.0)
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 pub const BUCKETS: usize = 65;
 
 /// A log2 histogram over `u64` samples (typically nanoseconds).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: [u64; BUCKETS],
     count: u64,

@@ -14,6 +14,7 @@
 //!    lane per node, loadable in Perfetto / `chrome://tracing`), plus a
 //!    flight recorder that dumps the last events per node on panic.
 
+mod ctx;
 mod event;
 pub mod export;
 mod flight;
@@ -21,14 +22,24 @@ mod hist;
 pub mod json;
 mod ring;
 
+pub use ctx::TraceCtx;
 pub use event::{Event, EventKind, RecPhase, TrimRule};
 pub use flight::{dump_flight_recorders, register_flight_recorder};
 pub use hist::{bucket_lo, bucket_of, Histogram, LatencyHists, BUCKETS};
 pub use ring::Ring;
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::Instant;
+
+/// A consumer of the live event stream, called synchronously from the
+/// emitting thread (after the event is recorded into the ring). Used by
+/// the online invariant monitor; a sink must be cheap and must not emit
+/// events itself.
+pub trait EventSink: Send + Sync {
+    /// Observe one freshly recorded event.
+    fn on_event(&self, e: &Event);
+}
 
 /// How a [`Trace`] records. Built explicitly or from the environment
 /// (`FTDSM_TRACE`, `FTDSM_TRACE_ECHO`, `FTDSM_TRACE_BUF`,
@@ -101,6 +112,7 @@ pub(crate) struct Shared {
     epoch: Instant,
     flight_events: usize,
     nodes: Vec<Mutex<Ring>>,
+    sink: RwLock<Option<Arc<dyn EventSink>>>,
 }
 
 /// Cluster-wide trace handle: owns the per-node rings and the enable flag.
@@ -131,6 +143,7 @@ impl Trace {
             nodes: (0..n_nodes)
                 .map(|_| Mutex::new(Ring::new(config.buffer)))
                 .collect(),
+            sink: RwLock::new(None),
         });
         Trace { shared }
     }
@@ -203,10 +216,58 @@ impl Trace {
     pub fn register_flight_recorder(&self) {
         flight::register(Arc::downgrade(&self.shared));
     }
+
+    /// Attach a live event sink (e.g. the invariant monitor). The sink is
+    /// called synchronously from every emitting thread while tracing is
+    /// enabled. Pass `None` to detach. The sink must not hold a strong
+    /// reference back to this trace (that would leak the rings).
+    pub fn set_sink(&self, sink: Option<Arc<dyn EventSink>>) {
+        *self
+            .shared
+            .sink
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = sink;
+    }
+
+    /// Stitch the causal flow `flow` out of the retained events: every
+    /// `MsgSend`/`MsgRecv` on the flow or directly parented by it, plus the
+    /// chain of ancestor sends (bounded walk), in timestamp order.
+    pub fn events_for_flow(&self, flow: u64) -> Vec<Event> {
+        stitch_flow(self.all_events(), flow)
+    }
+}
+
+/// Stitch one causal flow out of a timestamp-sorted event dump. Walks the
+/// parent chain upward (a reply's parent is the request's flow, whose send
+/// may itself have a parent), then keeps every event on any flow in the
+/// chain or directly parented by one.
+pub(crate) fn stitch_flow(all: Vec<Event>, flow: u64) -> Vec<Event> {
+    let mut flows = vec![flow];
+    let mut cursor = flow;
+    for _ in 0..8 {
+        let parent = all.iter().find_map(|e| match e.kind.flow_ref() {
+            Some((f, p)) if f == cursor && p != 0 => Some(p),
+            _ => None,
+        });
+        match parent {
+            Some(p) if !flows.contains(&p) => {
+                flows.push(p);
+                cursor = p;
+            }
+            _ => break,
+        }
+    }
+    all.into_iter()
+        .filter(|e| match e.kind.flow_ref() {
+            Some((f, p)) => flows.contains(&f) || (p != 0 && flows.contains(&p)),
+            None => false,
+        })
+        .collect()
 }
 
 impl Shared {
     pub(crate) fn dump_tail(&self, out: &mut dyn std::io::Write) -> std::io::Result<()> {
+        let mut all: Vec<Event> = Vec::new();
         for (node, ring) in self.nodes.iter().enumerate() {
             let ring = ring.lock().unwrap_or_else(PoisonError::into_inner);
             let snap = ring.snapshot();
@@ -219,6 +280,20 @@ impl Shared {
                 ring.dropped(),
             )?;
             for e in &snap[tail..] {
+                writeln!(out, "{e}")?;
+            }
+            all.extend(snap);
+        }
+        // The last stitched causal flow: usually the message being served
+        // when things went wrong.
+        all.sort_by_key(|e| e.ts_ns);
+        let last_flow = all.iter().rev().find_map(|e| match &e.kind {
+            EventKind::MsgRecv { flow, .. } if *flow != 0 => Some(*flow),
+            _ => None,
+        });
+        if let Some(flow) = last_flow {
+            writeln!(out, "--- last causal flow (flow {flow}) ---")?;
+            for e in stitch_flow(all, flow) {
                 writeln!(out, "{e}")?;
             }
         }
@@ -287,7 +362,22 @@ impl NodeTracer {
         self.shared.nodes[self.node]
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .push(e);
+            .push(e.clone());
+        let sink = self
+            .shared
+            .sink
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(s) = sink.as_ref() {
+            s.on_event(&e);
+        }
+    }
+
+    /// Nanoseconds since the trace epoch (shared by every node's tracer,
+    /// so cross-node timestamps and transit times are comparable).
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.shared.epoch.elapsed().as_nanos() as u64
     }
 
     /// The node this tracer writes to.
@@ -321,7 +411,11 @@ mod tests {
         let a = t.tracer(0);
         let b = t.tracer(1);
         a.emit(EventKind::LockRequest { lock: 1 });
-        b.emit(EventKind::LockGrant { lock: 1, to: 0 });
+        b.emit(EventKind::LockGrant {
+            lock: 1,
+            to: 0,
+            gen: 1,
+        });
         a.emit(EventKind::LockAcquire { lock: 1 });
         let all = t.all_events();
         assert_eq!(all.len(), 3);

@@ -94,9 +94,16 @@ pub enum FetchOutcome {
 /// Outcome of applying one diff against the store.
 #[derive(Debug)]
 pub enum ApplyOutcome {
-    /// Diff applied (or idempotently skipped); any fetches it unparked are
-    /// returned for the caller to answer.
-    Applied(Vec<ReadyFetch>),
+    /// Diff accepted; any fetches it unparked are returned for the caller
+    /// to answer. `fresh` is false when the version gate idempotently
+    /// skipped an already-covered interval (a retransmitted or duplicated
+    /// batch) — observability must not report those as applies.
+    Applied {
+        /// Did the home version actually advance?
+        fresh: bool,
+        /// Fetches the diff unparked.
+        ready: Vec<ReadyFetch>,
+    },
     /// The page is not homed here.
     NotHome,
     /// The liveness check failed under the shard lock; nothing was done.
@@ -342,7 +349,8 @@ impl HomeStore {
             return ApplyOutcome::NotHome;
         };
         let writer = diff.interval.proc;
-        if e.version.get(writer) < diff.interval.seq {
+        let fresh = e.version.get(writer) < diff.interval.seq;
+        if fresh {
             diff.apply_pooled(&mut e.copy, &mut shard.pool);
             e.version.set(writer, diff.interval.seq);
             if !e.writers.contains(&writer) {
@@ -369,7 +377,7 @@ impl HomeStore {
                 i += 1;
             }
         }
-        ApplyOutcome::Applied(ready)
+        ApplyOutcome::Applied { fresh, ready }
     }
 
     /// Drain every parked fetch that has become servable (used after
@@ -528,7 +536,8 @@ mod tests {
         cur.write(0, &[9; 8]);
         let d = Diff::create(PageId(0), iv(1, 2), &twin, &cur).unwrap();
         match s.apply_diff(&d, || true) {
-            ApplyOutcome::Applied(ready) => {
+            ApplyOutcome::Applied { fresh, ready } => {
+                assert!(fresh);
                 assert_eq!(ready.len(), 1);
                 assert_eq!(ready[0].from, 1);
                 assert_eq!(ready[0].req_id, 7);
@@ -603,7 +612,7 @@ mod tests {
         let d = Diff::create(PageId(0), iv(1, 3), &twin, &cur).unwrap();
         assert!(matches!(
             s.apply_diff(&d, || true),
-            ApplyOutcome::Applied(_)
+            ApplyOutcome::Applied { fresh: true, .. }
         ));
         assert!(s.access_gap(PageId(0)).is_none());
         assert!(s.writers_contain(PageId(0), 1));

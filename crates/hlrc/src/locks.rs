@@ -255,10 +255,38 @@ impl LockManagerTable {
             ml.gen_next = gen + 1;
         }
         if gen >= ml.tail_gen {
+            // A displaced restored tail's edge materialized and the chain
+            // moved past it, so its tenure completed and its requester will
+            // never retransmit it — drop the replay record (restores run on
+            // a fresh manager, so `pending` holds only restored edges).
+            ml.pending.remove(&ml.tail);
             ml.tail = tail;
             ml.tail_gen = gen;
             ml.tail_acq = tail_acq;
             ml.tail_granter = granter;
+            // A release-log-restored edge may have lost its delivery: the
+            // grantee will retransmit the acquisition. Record the forward so
+            // the retransmission replays from the granter at the original
+            // generation even after new requests advance the chain —
+            // chaining the same acquisition a second time behind the new
+            // tail would close a grant cycle and deadlock both requesters.
+            // (The tail-retransmission check in `on_request` only catches
+            // the case where the chain has NOT moved yet.)
+            if let Some(g) = granter {
+                if g != tail {
+                    ml.pending.insert(
+                        tail,
+                        PendingFwd {
+                            acq_seq: tail_acq,
+                            forwarded_to: g,
+                            gen,
+                            // The granter replays from its release log; the
+                            // predecessor test never runs.
+                            pred_acq: u64::MAX,
+                        },
+                    );
+                }
+            }
         }
     }
 
@@ -420,6 +448,43 @@ mod tests {
         let b = m.on_request(5, req(2, 0)).unwrap();
         assert_eq!(b.grant_from, 1);
         assert_eq!(b.pred_acq, 4);
+    }
+
+    #[test]
+    fn tail_retransmission_after_chain_advanced_replays_from_granter() {
+        // Deadlock regression: manager 1 recovers with restored tail 3
+        // (acq 0, gen 4, grant in 1's own release log — delivery lost in
+        // the crash). Node 2 then chains behind 3 (gen 5, moving the
+        // tail). When 3 finally retransmits its lost acquisition, the
+        // manager must replay it from the granter at the original
+        // generation — chaining it a second time behind 2 would create a
+        // 2↔3 grant cycle (2 waits on 3's tenure, 3 waits on 2's).
+        let mut m = LockManagerTable::new(1);
+        m.restore_chain(5, 4, 3, 0, Some(1));
+        let a = m.on_request(5, req(2, 0)).unwrap();
+        assert_eq!(a.grant_from, 3);
+        assert_eq!(a.gen, 5);
+        assert_eq!(a.pred_acq, 0);
+        let b = m.on_request(5, req(3, 0)).unwrap();
+        assert_eq!(b.grant_from, 1, "must replay from the granter's log");
+        assert_eq!(b.gen, 4);
+        assert_eq!(b.pred_acq, u64::MAX);
+        // The chain did not advance again: tail is still 2.
+        assert_eq!(m.tail_of(5), Some(2));
+    }
+
+    #[test]
+    fn newer_restore_drops_the_displaced_tails_replay_record() {
+        // Two release-log edges restored out of chain order: the gen-7 edge
+        // displaces the gen-4 tail, whose tenure therefore completed. Its
+        // old requester re-acquiring chains normally instead of replaying.
+        let mut m = LockManagerTable::new(0);
+        m.restore_chain(5, 4, 2, 1, Some(1));
+        m.restore_chain(5, 7, 3, 2, Some(2));
+        let a = m.on_request(5, req(2, 2)).unwrap();
+        assert_eq!(a.grant_from, 3);
+        assert_eq!(a.gen, 8);
+        assert_eq!(a.pred_acq, 2);
     }
 
     #[test]

@@ -348,9 +348,8 @@ impl PageTable {
     /// If this node is not the page's home.
     pub fn home_apply_diff(&mut self, diff: &Diff) -> bool {
         use crate::homestore::ApplyOutcome;
-        let before = self.home.version_of(diff.page).get(diff.interval.proc);
         match self.home.apply_diff(diff, || true) {
-            ApplyOutcome::Applied(_ready) => before < diff.interval.seq,
+            ApplyOutcome::Applied { fresh, .. } => fresh,
             ApplyOutcome::NotHome => panic!("diff for page {} sent to non-home", diff.page),
             ApplyOutcome::Stale => unreachable!("liveness check is constant"),
         }

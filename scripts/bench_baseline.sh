@@ -18,17 +18,27 @@
 #   - remote fetch round trips per page and protocol op latencies on the
 #     barrier-heavy Water-Spatial FT kernel (n=8), against the pinned
 #     pre-batching baseline.
+#
+# Alongside the JSON baselines it leaves a metrics snapshot of the hist
+# run: BENCH_metrics.jsonl (periodic registry samples, one per line) and
+# BENCH_metrics.prom (final Prometheus exposition), driven by the
+# FTDSM_METRICS_EVERY_MS / FTDSM_METRICS_OUT environment hooks.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_diff.json}"
 PROTO_OUT="${2:-BENCH_protocol.json}"
+METRICS_OUT="${3:-BENCH_metrics.jsonl}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 cargo bench -p dsm-bench --bench diff | tee "$TMP/diff.txt"
 cargo bench -p dsm-bench --bench micro | tee "$TMP/micro.txt"
-cargo run -q --release -p dsm-bench --bin paper -- hist >"$TMP/hist.txt"
+rm -f "$METRICS_OUT"
+FTDSM_METRICS_EVERY_MS=10 FTDSM_METRICS_OUT="$METRICS_OUT" \
+    cargo run -q --release -p dsm-bench --bin paper -- hist >"$TMP/hist.txt"
+[ -s "$METRICS_OUT" ] || { echo "no metrics sampled into $METRICS_OUT" >&2; exit 1; }
+echo "wrote $METRICS_OUT and ${METRICS_OUT%.jsonl}.prom"
 
 # Median ns/iter of one `bench <id> <median> ns/iter ...` line.
 median() {

@@ -17,9 +17,14 @@ use ftdsm_suite::{
 const NODES: usize = 4;
 
 fn cfg() -> ClusterConfig {
+    // The whole chaos suite runs under the online invariant monitor: any
+    // protocol-invariant violation (stale diff apply, split lock tenure,
+    // barrier disagreement, illegal membership transition) panics the run
+    // with the offending causal flow and the reproducing seed attached.
     ClusterConfig::fault_tolerant(NODES)
         .with_page_size(512)
         .with_policy(CkptPolicy::LogOverflow { l: 0.2 })
+        .with_monitor(true)
 }
 
 fn splitmix(x: &mut u64) -> u64 {

@@ -1,0 +1,342 @@
+//! Observability acceptance tests: causal cross-node flow export, per-kind
+//! latency attribution, service-time coverage of every sent message kind,
+//! order-insensitive metric merges, the invariant monitor catching an
+//! injected protocol bug with the causal flow attached, and the
+//! disabled-trace overhead bound.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::Instant;
+
+use dsm_metrics::{Snapshot, TimeSeries};
+use dsm_trace::export::to_chrome_trace;
+use dsm_trace::json::{self, Json};
+use dsm_trace::{EventKind, Histogram, Trace};
+use ftdsm_suite::{run, CkptPolicy, ClusterConfig, FailureSpec, HomeAlloc, Process, TraceConfig};
+
+/// Fixed seed: these runs are golden artifacts, not seed sweeps.
+const SEED: u64 = 0x0b5e_44ab_111e_5eed;
+
+fn splitmix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Small two-node exchange: page fetches, lock-flush diff batches, barrier
+/// releases — every message is a cross-node hop.
+fn exchange(p: &mut Process) -> u64 {
+    let cells = p.alloc_vec::<u64>(8, HomeAlloc::Interleaved);
+    let mut state = 0u64;
+    p.run_steps(&mut state, 4, |p, state, step| {
+        p.acquire(0);
+        let idx = step as usize % 8;
+        let v = cells.get(p, idx);
+        cells.set(p, idx, v + p.me() as u64 + 1);
+        p.release(0);
+        *state += step;
+        p.barrier();
+    });
+    p.barrier();
+    (0..8).map(|i| cells.get(p, i)).sum()
+}
+
+/// Wider workload (from the chaos suite) that exercises every traffic kind:
+/// prefetch batches over interleaved pages, lock chains, barrier flushes.
+fn wide_app(p: &mut Process) -> u64 {
+    let n = p.nodes();
+    let data = p.alloc_vec::<u64>(96, HomeAlloc::Interleaved);
+    let counter = p.alloc_vec::<u64>(1, HomeAlloc::Node(1));
+    let mut state = 0u64;
+    p.run_steps(&mut state, 6, |p, state, step| {
+        p.acquire(5);
+        let v = counter.get(p, 0);
+        counter.set(p, 0, v + 1);
+        p.release(5);
+        let me = p.me();
+        for i in 0..96 {
+            if i % n == me {
+                let v = data.get(p, i);
+                data.set(p, i, v.wrapping_mul(31).wrapping_add(step + i as u64));
+            }
+        }
+        *state = state.wrapping_add(step);
+        p.barrier();
+    });
+    p.barrier();
+    let mut acc = counter.get(p, 0);
+    for i in 0..96 {
+        acc = acc.rotate_left(9) ^ data.get(p, i);
+    }
+    acc.wrapping_add(state)
+}
+
+/// Golden export: a fixed-seed two-node run must produce Chrome/Perfetto
+/// flow events (`ph:"s"` / `ph:"f"`) whose ids bind a send on one node lane
+/// to the matching receive on a *different* lane, and the run report must
+/// attribute receive latency (queue wait vs chaos delay) per message kind.
+#[test]
+fn fixed_seed_two_node_exchange_exports_cross_node_flows() {
+    let report = run(
+        ClusterConfig::fault_tolerant(2)
+            .with_page_size(256)
+            .with_seed(SEED)
+            .with_trace(TraceConfig::enabled()),
+        &[],
+        exchange,
+    );
+
+    let text = to_chrome_trace(&report.trace);
+    let doc = json::parse(&text).expect("chrome trace must parse");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+
+    // Bind flow starts to finishes by id and compare lanes.
+    let mut start_lane: HashMap<u64, u64> = HashMap::new();
+    let mut finish_lane: HashMap<u64, u64> = HashMap::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).unwrap_or("");
+        if ph != "s" && ph != "f" {
+            continue;
+        }
+        assert_eq!(
+            ev.get("cat").and_then(Json::as_str),
+            Some("dsm.flow"),
+            "flow events carry the dsm.flow category"
+        );
+        let id = ev.get("id").and_then(Json::as_num).expect("flow id") as u64;
+        let tid = ev.get("tid").and_then(Json::as_num).expect("flow tid") as u64;
+        if ph == "s" {
+            start_lane.insert(id, tid);
+        } else {
+            finish_lane.insert(id, tid);
+        }
+    }
+    assert!(!start_lane.is_empty(), "no flow starts exported");
+    let cross = start_lane
+        .iter()
+        .filter(|(id, s)| finish_lane.get(id).is_some_and(|f| f != *s))
+        .count();
+    assert!(
+        cross > 0,
+        "no flow id connects two different node lanes ({} starts, {} finishes)",
+        start_lane.len(),
+        finish_lane.len()
+    );
+
+    // Per-kind end-to-end latency attribution reached the report: every
+    // protocol exchange in this app crosses nodes, so queue wait must have
+    // been measured, and chaos delay must be zero (no fault plan).
+    assert!(!report.phases.is_empty(), "no phase attribution collected");
+    let kinds: BTreeSet<&str> = report.phases.iter().map(|&(k, _)| k).collect();
+    for expected in [
+        "PageBatchReq",
+        "PageBatchReply",
+        "DiffBatch",
+        "LockAcq",
+        "BarrierArrive",
+    ] {
+        assert!(kinds.contains(expected), "no attribution for {expected}");
+    }
+    assert!(
+        report.phases.iter().any(|(_, a)| a.queue_ns > 0),
+        "queue wait never attributed"
+    );
+    assert!(
+        report.phases.iter().all(|(_, a)| a.chaos_ns == 0),
+        "chaos delay attributed on a chaos-free run"
+    );
+}
+
+/// Service-time coverage: every message kind the cluster *sent* must show
+/// up as a service-time bucket, including the kinds added after PR 3 —
+/// DiffAck, the heartbeat family, and batch replies.
+#[test]
+fn every_sent_message_kind_gets_a_service_time_bucket() {
+    let report = run(
+        ClusterConfig::fault_tolerant(4)
+            .with_page_size(512)
+            .with_policy(CkptPolicy::LogOverflow { l: 0.2 })
+            .with_seed(SEED)
+            .with_membership(Default::default())
+            .with_trace(TraceConfig::enabled()),
+        &[FailureSpec { node: 2, at_op: 60 }],
+        wide_app,
+    );
+    assert_eq!(report.nodes[2].ft.recoveries, 1, "crash did not fire");
+
+    let sent: BTreeSet<&str> = report.total_msg_kinds().iter().map(|&(k, _)| k).collect();
+    let attributed: BTreeSet<&str> = report
+        .total_svc_time_by_kind()
+        .iter()
+        .map(|&(k, _)| k)
+        .collect();
+    for kind in &sent {
+        assert!(
+            attributed.contains(kind),
+            "sent kind {kind:?} has no service-time bucket (attributed: {attributed:?})"
+        );
+    }
+    // The run must actually exercise the once-unattributed kinds: acks,
+    // heartbeats (incl. the suspicion round on the injected crash), batched
+    // page replies, and the recovery protocol.
+    for kind in [
+        "DiffAck",
+        "HbPing",
+        "HbPong",
+        "SuspectQuery",
+        "SuspectReply",
+        "DownAnnounce",
+        "PageBatchReq",
+        "PageBatchReply",
+        "RecLogReq",
+        "RecLogReply",
+    ] {
+        assert!(sent.contains(kind), "workload never sent {kind:?}");
+    }
+}
+
+/// A clean monitored run: the invariant monitor must have consumed the
+/// event stream and found nothing.
+#[test]
+fn clean_monitored_run_reports_zero_violations() {
+    let report = run(
+        ClusterConfig::fault_tolerant(3)
+            .with_page_size(256)
+            .with_seed(SEED)
+            .with_monitor(true),
+        &[],
+        exchange,
+    );
+    let m = report.monitor.expect("monitor report missing");
+    assert!(m.events_seen > 0, "monitor saw no events");
+    assert!(
+        m.violations.is_empty(),
+        "clean run flagged: {:?}",
+        m.violations
+    );
+}
+
+/// The acceptance bar for the monitor: a deliberately injected stale
+/// version apply (test-only hook re-emitting an already-applied diff
+/// interval) must fail the run, naming the violated invariant and
+/// attaching the stitched causal flow.
+#[test]
+fn injected_stale_apply_is_caught_with_causal_flow() {
+    let mut cfg = ClusterConfig::fault_tolerant(3)
+        .with_page_size(256)
+        .with_seed(SEED)
+        .with_monitor(true);
+    cfg.inject_stale_apply = true;
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        run(cfg, &[], exchange)
+    }));
+    let err = result.expect_err("monitor must fail the injected run");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic payload must be a string");
+    assert!(
+        msg.contains("protocol invariant violated"),
+        "unexpected failure message: {msg}"
+    );
+    assert!(
+        msg.contains("version-monotonicity"),
+        "wrong invariant named: {msg}"
+    );
+    assert!(
+        msg.contains("FTDSM_SEED="),
+        "no reproducing seed in the failure: {msg}"
+    );
+    assert!(
+        msg.contains("causal flow:"),
+        "no causal flow attached: {msg}"
+    );
+}
+
+/// Property: folding per-shard metric time-series in any order yields the
+/// identical series, and histogram merge is order-insensitive too.
+#[test]
+fn metric_and_histogram_merges_are_order_insensitive() {
+    let mut s = SEED;
+    for case in 0..8u64 {
+        // Random snapshots, some with colliding timestamps.
+        let parts: Vec<TimeSeries> = (0..6)
+            .map(|_| {
+                let mut ts = TimeSeries::new();
+                for _ in 0..(1 + splitmix(&mut s) % 4) {
+                    let mut counters = BTreeMap::new();
+                    for c in 0..(splitmix(&mut s) % 3) {
+                        counters.insert(format!("c{c}_total"), splitmix(&mut s) % 1000);
+                    }
+                    ts.push(Snapshot {
+                        ts_ns: (splitmix(&mut s) % 5) * 100,
+                        counters,
+                        gauges: BTreeMap::new(),
+                        hists: BTreeMap::new(),
+                    });
+                }
+                ts
+            })
+            .collect();
+        let mut fwd = TimeSeries::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = TimeSeries::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd, rev, "case {case}: time-series merge order mattered");
+
+        // Histograms: same samples distributed into shards, merged both ways.
+        let samples: Vec<u64> = (0..64).map(|_| splitmix(&mut s) % (1 << 20)).collect();
+        let mut shards = vec![Histogram::new(); 4];
+        for (i, &v) in samples.iter().enumerate() {
+            shards[i % 4].record(v);
+        }
+        let mut fwd_h = Histogram::new();
+        for h in &shards {
+            fwd_h.merge(h);
+        }
+        let mut rev_h = Histogram::new();
+        for h in shards.iter().rev() {
+            rev_h.merge(h);
+        }
+        assert_eq!(fwd_h, rev_h, "case {case}: histogram merge order mattered");
+        assert_eq!(fwd_h.count(), samples.len() as u64);
+    }
+}
+
+/// With tracing off, the emit hook must stay one relaxed atomic load: ten
+/// million no-op emits have to finish comfortably inside a generous wall
+/// bound even on a loaded debug-mode CI runner, and record nothing.
+#[test]
+fn disabled_trace_emit_overhead_stays_negligible() {
+    let trace = Trace::new(1, &TraceConfig::default());
+    let t = trace.tracer(0);
+    assert!(!trace.is_enabled());
+    let t0 = Instant::now();
+    for i in 0..10_000_000u64 {
+        t.emit(EventKind::MsgSend {
+            kind: "PageReq",
+            to: 0,
+            bytes: i as u32,
+            flow: i,
+            parent: 0,
+        });
+    }
+    let dt = t0.elapsed();
+    assert!(
+        trace.all_events().is_empty(),
+        "disabled trace recorded events"
+    );
+    assert!(
+        dt.as_secs_f64() < 5.0,
+        "10M disabled emits took {dt:?} — the disabled hook is no longer cheap"
+    );
+}

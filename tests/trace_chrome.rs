@@ -51,6 +51,8 @@ fn crash_run_exports_valid_chrome_trace_with_recovery_lanes() {
     let mut lanes_used = [false; NODES];
     let mut recovery_phases = Vec::new();
     let mut complete_events = 0usize;
+    let mut flow_starts = 0usize;
+    let mut flow_finishes = 0usize;
     for ev in events {
         let ph = ev.get("ph").and_then(Json::as_str).expect("ph field");
         let tid = ev.get("tid").and_then(Json::as_num).map(|t| t as usize);
@@ -80,9 +82,22 @@ fn crash_run_exports_valid_chrome_trace_with_recovery_lanes() {
                 }
             }
             "i" => lanes_used[tid.expect("instant without tid")] = true,
+            // Cross-node causal flow arrows: a send binds the start, the
+            // matching receive (same id) the finish.
+            "s" => {
+                assert!(ev.get("id").and_then(Json::as_num).is_some());
+                flow_starts += 1;
+            }
+            "f" => {
+                assert_eq!(ev.get("bp").and_then(Json::as_str), Some("e"));
+                assert!(ev.get("id").and_then(Json::as_num).is_some());
+                flow_finishes += 1;
+            }
             other => panic!("unexpected phase type {other:?}"),
         }
     }
+    assert!(flow_starts > 0, "no flow-start events in a traced run");
+    assert!(flow_finishes > 0, "no flow-finish events in a traced run");
     for node in 0..NODES {
         assert!(lanes_named[node], "node {node} lane is missing its name");
         assert!(lanes_used[node], "node {node} lane has no events");
